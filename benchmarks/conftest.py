@@ -1,0 +1,53 @@
+"""Benchmark-session fixtures: results directory and shared caches.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Every target prints
+its table(s) in the paper's layout (use ``-s`` to see them live) and
+persists structured rows under ``benchmarks/results/`` for
+EXPERIMENTS.md.  Numerics are memoized inside the session, so targets
+sharing a sweep (Tables II/III/VI/VII) run the expensive part once.
+
+Set ``REPRO_BENCH_NODES=1,2`` to trim the weak-scaling sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    out = pathlib.Path(__file__).parent / "results"
+    out.mkdir(exist_ok=True)
+    return out
+
+
+class _Encoder(json.JSONEncoder):
+    def default(self, o):
+        if isinstance(o, (np.integer,)):
+            return int(o)
+        if isinstance(o, (np.floating,)):
+            return float(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        return super().default(o)
+
+
+@pytest.fixture(scope="session")
+def save_results(results_dir):
+    def _save(name: str, data: dict) -> None:
+        # tuple keys from experiment dicts are stringified
+        def clean(obj):
+            if isinstance(obj, dict):
+                return {str(k): clean(v) for k, v in obj.items()}
+            if isinstance(obj, (list, tuple)):
+                return [clean(v) for v in obj]
+            return obj
+
+        path = results_dir / f"{name}.json"
+        path.write_text(json.dumps(clean(data), indent=1, cls=_Encoder))
+
+    return _save

@@ -1,0 +1,26 @@
+"""Fig. 4: numerical-setup time breakdown on one node.
+
+Paper shape targets: on the SuperLU GPU path a significant share of the
+setup is the Kokkos-Kernels SpTRSV setup; Tacho's factorization runs
+faster on the GPU while the SpGEMM/communication ("black") parts run
+slower, netting similar totals.
+"""
+
+from repro.bench import experiments
+
+
+def test_fig4_setup_breakdown(benchmark, save_results):
+    data = experiments.fig4_setup_breakdown()
+    save_results("fig4_setup_breakdown", data)
+    benchmark.pedantic(experiments.fig4_setup_breakdown, rounds=2, iterations=1)
+
+    br = data["breakdowns"]
+    slu_gpu = br["superlu/gpu"]
+    # the SpTRSV setup family exists and is a visible share on SuperLU/GPU
+    assert slu_gpu.get("setup", 0.0) > 0.0
+    assert slu_gpu["setup"] > 0.1 * sum(slu_gpu.values())
+    assert "setup" not in br["superlu/cpu"] or br["superlu/cpu"]["setup"] == 0.0
+    # Tacho factors faster on the GPU...
+    assert br["tacho/gpu"]["factor"] < br["tacho/cpu"]["factor"]
+    # ...but its coarse/SpGEMM parts run slower there (the "black" bars)
+    assert br["tacho/gpu"]["coarse"] > br["tacho/cpu"]["coarse"]

@@ -1,0 +1,29 @@
+"""Fig. 5: strong parallel scaling (Tacho, fixed global problem).
+
+Paper shape targets: using all cores/full MPS (8 ranks/node here, 42 in
+the paper) beats the reduced-rank configuration for both CPU and GPU;
+times fall as nodes are added.
+"""
+
+from repro.bench import experiments
+
+
+def test_fig5_strong_scaling(benchmark, save_results):
+    data = experiments.fig5_strong_scaling()
+    save_results("fig5_strong_scaling", data)
+    benchmark.pedantic(experiments.fig5_strong_scaling, rounds=2, iterations=1)
+
+    s = data["series"]
+    full = s["cpu 8/node"]["solve"]
+    reduced = s["cpu 2/node"]["solve"]
+    gfull = s["gpu 4/gpu"]["solve"]
+    gred = s["gpu 1/gpu"]["solve"]
+    # at scale (largest node count, non-trivial decompositions on both
+    # sides) the all-ranks configuration wins or ties, as in Fig. 5; at
+    # tiny rank counts the reduced config solves an artificially easy
+    # problem (2-4 huge subdomains), a regime below the paper's
+    assert full[-1] <= 1.05 * reduced[-1]
+    assert gfull[-1] <= 1.05 * gred[-1]
+    # strong scaling: adding nodes reduces the full-rank solve time
+    assert full[-1] < full[0]
+    assert gfull[-1] < gfull[0]

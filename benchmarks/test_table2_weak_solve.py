@@ -1,0 +1,26 @@
+"""Table II: weak-scaling total iteration time (SuperLU & Tacho).
+
+Paper shape targets: GPU best-MPS solve ~2x faster than the CPU run;
+1 rank/GPU is not competitive at scale; the max-MPS row reproduces the
+CPU iteration counts exactly (same decomposition).
+"""
+
+from repro.bench import experiments
+
+
+def test_table2_weak_solve(benchmark, save_results):
+    data = experiments.table2_weak_solve()
+    save_results("table2_weak_solve", data)
+    # measured quantity: repricing the cached numerics (the pure
+    # cost-model evaluation exercised by every table)
+    benchmark.pedantic(experiments.table2_weak_solve, rounds=2, iterations=1)
+
+    for solver in ("superlu", "tacho"):
+        d = data[solver]
+        # the paper's headline: best-MPS GPU beats CPU on every column
+        assert all(r > 1.0 for r in d["speedup"]), d["speedup"]
+        # max-MPS GPU row shares the CPU decomposition -> same iteration
+        # counts up to solve-order roundoff (the triangular solves are
+        # numerically equivalent but not bitwise identical)
+        for a, b in zip(d["iterations"]["gpu4"], d["iterations"]["cpu"]):
+            assert abs(a - b) <= max(3, 0.1 * b), (a, b)

@@ -1,0 +1,31 @@
+"""Table III: weak-scaling numerical setup time (SuperLU & Tacho).
+
+Paper shape targets: MPS improves GPU setup strongly (SuperLU most --
+its triangular-solver setup repeats every factorization); Tacho setup
+is roughly at parity between CPU and GPU; SuperLU GPU setup is ~1.4x
+slower than its CPU setup.
+"""
+
+from repro.bench import experiments
+
+
+def test_table3_weak_setup(benchmark, save_results):
+    data = experiments.table3_weak_setup()
+    save_results("table3_weak_setup", data)
+    benchmark.pedantic(experiments.table3_weak_setup, rounds=2, iterations=1)
+
+    for solver in ("superlu", "tacho"):
+        d = data[solver]
+        # MPS=1 is the worst GPU setup row everywhere (Table III trend)
+        worst = d["data"]["gpu1"]
+        best = [min(d["data"][f"gpu{k}"][i] for k in (1, 2, 4)) for i in range(len(d["nodes"]))]
+        assert all(w >= b for w, b in zip(worst, best))
+        gain = [w / b for w, b in zip(worst, best)]
+        floor = 2.0 if solver == "superlu" else 1.25
+        assert max(gain) > floor, (solver, gain)  # MPS helps setup
+    # SuperLU pays the per-factorization SpTRSV setup on the GPU path
+    slu = data["superlu"]
+    tac = data["tacho"]
+    slu_ratio = [g / c for g, c in zip(slu["data"]["gpu4"], slu["data"]["cpu"])]
+    tac_ratio = [g / c for g, c in zip(tac["data"]["gpu4"], tac["data"]["cpu"])]
+    assert sum(slu_ratio) / len(slu_ratio) > sum(tac_ratio) / len(tac_ratio)

@@ -1,0 +1,21 @@
+"""Table V: weak scaling with the ILU(1) local solver.
+
+Paper shape targets: iteration counts stay nearly flat with the number
+of subdomains even with the inexact solver; the Fast variants beat the
+exact KK solve; setup is comparable between CPU and GPU.
+"""
+
+from repro.bench import experiments
+
+
+def test_table5_ilu_weak(benchmark, save_results):
+    data = experiments.table5_ilu_weak()
+    save_results("table5_ilu_weak", data)
+    benchmark.pedantic(experiments.table5_ilu_weak, rounds=2, iterations=1)
+
+    iters = data["iterations"]["CPU"]
+    # iteration growth stays modest across an 8x subdomain increase
+    assert max(iters) <= 2.0 * min(iters), iters
+    for i in range(len(data["nodes"])):
+        assert data["solve"]["GPU Fast"][i] < data["solve"]["GPU KK"][i]
+        assert data["solve"]["GPU Fast"][i] < data["solve"]["CPU"][i]

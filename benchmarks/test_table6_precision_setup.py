@@ -1,0 +1,23 @@
+"""Table VI: numerical setup, double vs single precision.
+
+Paper shape targets: the single-precision preconditioner reduces the
+(memory-bound) setup time by ~1.3-1.5x on the CPU and somewhat less on
+the GPU.
+"""
+
+from repro.bench import experiments
+
+
+def test_table6_precision_setup(benchmark, save_results):
+    data = experiments.table6_precision_setup()
+    save_results("table6_precision_setup", data)
+    benchmark.pedantic(experiments.table6_precision_setup, rounds=2, iterations=1)
+
+    for solver in ("superlu", "tacho"):
+        d = data[solver]["data"]
+        for tag in ("CPU", "GPU"):
+            speedups = [
+                dd / ss for dd, ss in zip(d[f"{tag} double"], d[f"{tag} single"])
+            ]
+            assert all(s > 1.0 for s in speedups), (solver, tag, speedups)
+            assert max(speedups) < 2.0  # bounded by the bytes ratio

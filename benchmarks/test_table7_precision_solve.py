@@ -1,0 +1,29 @@
+"""Table VII: iteration time, double vs single precision.
+
+Paper shape targets: iteration counts are essentially unchanged by the
+single-precision preconditioner (within a couple of iterations), and
+the solve time shows no significant benefit.
+"""
+
+from repro.bench import experiments
+
+
+def test_table7_precision_solve(benchmark, save_results):
+    data = experiments.table7_precision_solve()
+    save_results("table7_precision_solve", data)
+    benchmark.pedantic(experiments.table7_precision_solve, rounds=2, iterations=1)
+
+    for solver in ("superlu", "tacho"):
+        it = data[solver]["iterations"]
+        for tag in ("CPU", "GPU"):
+            dbl = it[f"{tag} double"]
+            sgl = it[f"{tag} single"]
+            for a, b in zip(dbl, sgl):
+                assert abs(a - b) <= max(3, 0.15 * a), (solver, tag, dbl, sgl)
+        # solve-time changes stay small (no 2x swings either way)
+        d = data[solver]["data"]
+        for tag in ("CPU", "GPU"):
+            ratios = [
+                x / y for x, y in zip(d[f"{tag} double"], d[f"{tag} single"])
+            ]
+            assert all(0.5 < r < 2.0 for r in ratios)

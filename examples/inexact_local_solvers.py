@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Exact vs inexact local subdomain solvers (Section VIII-B, Table IV).
+
+The same GDSW preconditioner is built with four local-solver options:
+
+* Tacho   -- exact multifrontal Cholesky (the DD-theory setting);
+* SuperLU -- exact LU with partial pivoting;
+* ILU(k)  -- level-of-fill incomplete LU + exact level-set SpTRSV;
+* FastILU -- Chow-Patel iterative ILU + FastSpTRSV Jacobi solves.
+
+Inexact solves trade iterations for much cheaper, more parallel local
+kernels; the iteration counts below are real GMRES numbers.
+
+Run:  python examples/inexact_local_solvers.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.dd import Decomposition, GDSWPreconditioner, LocalSolverSpec
+from repro.fem import elasticity_3d, rigid_body_modes
+from repro.krylov import gmres
+
+
+def main() -> None:
+    problem = elasticity_3d(10)
+    dec = Decomposition.from_box_partition(problem, 2, 2, 2)
+    nullspace = rigid_body_modes(problem.coordinates)
+    print(f"n = {problem.a.n_rows}, {dec.n_subdomains} subdomains\n")
+
+    specs = [
+        ("tacho (exact)", LocalSolverSpec(kind="tacho", ordering="nd")),
+        ("superlu (exact)", LocalSolverSpec(kind="superlu", ordering="nd")),
+        ("ILU(0)", LocalSolverSpec(kind="iluk", ilu_level=0, ordering="natural")),
+        ("ILU(1)", LocalSolverSpec(kind="iluk", ilu_level=1, ordering="natural")),
+        ("ILU(2)", LocalSolverSpec(kind="iluk", ilu_level=2, ordering="natural")),
+        (
+            "FastILU(1), 3+5 sweeps",
+            LocalSolverSpec(kind="fastilu", ilu_level=1, ordering="natural"),
+        ),
+    ]
+    print(f"{'local solver':24s} {'iters':>6s} {'converged':>10s} {'relres':>10s}")
+    for tag, spec in specs:
+        m = GDSWPreconditioner(dec, nullspace, local_spec=spec)
+        res = gmres(problem.a, problem.b, preconditioner=m, rtol=1e-7, restart=30)
+        relres = np.linalg.norm(problem.a.matvec(res.x) - problem.b) / np.linalg.norm(
+            problem.b
+        )
+        print(f"{tag:24s} {res.iterations:6d} {str(res.converged):>10s} {relres:10.2e}")
+
+    print(
+        "\nExpected shape (paper, Table IV): iteration counts rise as the\n"
+        "local solves get rougher (exact < ILU(2) < ILU(1) < ILU(0) <\n"
+        "FastILU), while each application gets cheaper and more parallel."
+    )
+
+
+if __name__ == "__main__":
+    main()

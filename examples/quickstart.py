@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: solve a 3D elasticity problem with a GDSW-preconditioned
+single-reduce GMRES -- the paper's core solver configuration.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.dd import Decomposition, GDSWPreconditioner, LocalSolverSpec
+from repro.fem import elasticity_3d, rigid_body_modes
+from repro.krylov import ReduceCounter, gmres
+
+
+def main() -> None:
+    # 1. Assemble the benchmark PDE: a clamped elastic block under gravity
+    #    (trilinear hexahedral elements, 3 dofs per node).
+    problem = elasticity_3d(10)
+    print(f"assembled 3D elasticity: n = {problem.a.n_rows}, nnz = {problem.a.nnz}")
+
+    # 2. Decompose the mesh nodes into 2 x 2 x 2 subdomains (one per
+    #    "MPI rank") and provide the Neumann null space (rigid-body modes).
+    dec = Decomposition.from_box_partition(problem, 2, 2, 2)
+    nullspace = rigid_body_modes(problem.coordinates)
+    print(f"decomposed into {dec.n_subdomains} subdomains")
+
+    # 3. Build the two-level Schwarz preconditioner: algebraic overlap 1,
+    #    reduced GDSW coarse space, Tacho-style multifrontal local solves.
+    m = GDSWPreconditioner(
+        dec,
+        nullspace,
+        local_spec=LocalSolverSpec(kind="tacho", ordering="nd"),
+        overlap=1,
+        variant="rgdsw",
+    )
+    print(f"coarse space dimension: {m.n_coarse}")
+
+    # 4. Solve with the paper's Krylov configuration: single-reduce
+    #    GMRES(30), relative tolerance 1e-7.
+    reducer = ReduceCounter()
+    result = gmres(
+        problem.a,
+        problem.b,
+        preconditioner=m,
+        rtol=1e-7,
+        restart=30,
+        variant="single_reduce",
+        reducer=reducer,
+    )
+    relres = np.linalg.norm(problem.a.matvec(result.x) - problem.b) / np.linalg.norm(
+        problem.b
+    )
+    print(
+        f"GMRES: {result.iterations} iterations, converged={result.converged}, "
+        f"true relative residual = {relres:.2e}"
+    )
+    print(
+        f"global reductions: {reducer.count} "
+        f"({reducer.count / result.iterations:.2f} per iteration)"
+    )
+
+    # 5. Compare against unpreconditioned GMRES.
+    plain = gmres(problem.a, problem.b, rtol=1e-7, restart=30, maxiter=3000)
+    print(f"without preconditioner: {plain.iterations} iterations")
+
+
+if __name__ == "__main__":
+    main()

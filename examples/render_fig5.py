@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Render the Fig. 5 strong-scaling chart from saved benchmark results.
+
+Run `pytest benchmarks/test_fig5_strong_scaling.py --benchmark-only`
+first (it writes `benchmarks/results/fig5_strong_scaling.json`), then:
+
+    python examples/render_fig5.py
+"""
+
+import json
+import pathlib
+import sys
+
+from repro.bench.plots import scaling_plot
+
+
+def main() -> None:
+    path = (
+        pathlib.Path(__file__).parent.parent
+        / "benchmarks" / "results" / "fig5_strong_scaling.json"
+    )
+    if not path.exists():
+        sys.exit(
+            "no results yet -- run: pytest benchmarks/test_fig5_strong_scaling.py "
+            "--benchmark-only"
+        )
+    data = json.loads(path.read_text())
+    for what in ("solve", "setup"):
+        print(scaling_plot(data, what))
+        print()
+
+
+if __name__ == "__main__":
+    main()

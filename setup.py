@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517/660 builds cannot run; this file lets ``pip install -e .`` use the
+legacy ``setup.py develop`` code path.  All metadata lives in
+``pyproject.toml``; keep this file minimal.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22", "scipy>=1.8"],
+)

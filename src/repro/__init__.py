@@ -1,0 +1,74 @@
+"""Reproduction of "An Experimental Study of Two-Level Schwarz Domain
+Decomposition Preconditioners on GPUs" (Yamazaki, Heinlein,
+Rajamanickam; IPDPS 2023).
+
+A from-scratch Python implementation of the FROSch solver stack -- the
+GDSW/reduced-GDSW two-level overlapping Schwarz preconditioner with its
+full substrate (sparse kernels, direct and incomplete factorizations,
+triangular-solve variants, single-reduce GMRES) -- plus a calibrated
+Summit-node performance model that regenerates the paper's tables
+without GPU hardware.
+
+Quick start::
+
+    from repro import (
+        elasticity_3d, rigid_body_modes, Decomposition,
+        GDSWPreconditioner, LocalSolverSpec, gmres,
+    )
+
+    problem = elasticity_3d(10)
+    dec = Decomposition.from_box_partition(problem, 2, 2, 2)
+    M = GDSWPreconditioner(
+        dec, rigid_body_modes(problem.coordinates),
+        local_spec=LocalSolverSpec(kind="tacho"),
+    )
+    result = gmres(problem.a, problem.b, preconditioner=M, rtol=1e-7)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured results.
+"""
+
+from repro.dd import (
+    Decomposition,
+    GDSWPreconditioner,
+    HalfPrecisionOperator,
+    LocalSolverSpec,
+    OneLevelSchwarz,
+)
+from repro.fem import (
+    StructuredGrid,
+    constant_nullspace,
+    elasticity_3d,
+    laplace_2d,
+    laplace_3d,
+    rigid_body_modes,
+    translations_only,
+)
+from repro.krylov import ReduceCounter, cg, gmres
+from repro.runtime import JobLayout, SolverTimings, time_solver
+from repro.sparse import CsrMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CsrMatrix",
+    "Decomposition",
+    "GDSWPreconditioner",
+    "HalfPrecisionOperator",
+    "JobLayout",
+    "LocalSolverSpec",
+    "OneLevelSchwarz",
+    "ReduceCounter",
+    "SolverTimings",
+    "StructuredGrid",
+    "__version__",
+    "cg",
+    "constant_nullspace",
+    "elasticity_3d",
+    "gmres",
+    "laplace_2d",
+    "laplace_3d",
+    "rigid_body_modes",
+    "time_solver",
+    "translations_only",
+]

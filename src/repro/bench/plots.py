@@ -1,0 +1,98 @@
+"""Terminal (ASCII) plots for the figure-type experiments.
+
+The paper's Fig. 5 is a log-log strong-scaling plot; this module renders
+the benchmark harness's series as monospace charts so `pytest -s` output
+and EXPERIMENTS.md can show the *figure*, not just its numbers, without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+__all__ = ["ascii_lineplot", "scaling_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_lineplot(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    logy: bool = True,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render one or more y-series over shared x-values.
+
+    Values are placed on a character grid (log-scaled y by default, as in
+    the paper's scaling figures); each series gets a marker and a legend
+    line.  Returns the chart as a string.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+        if logy and any(y <= 0 for y in ys):
+            raise ValueError(f"series {name!r} has non-positive values (logy)")
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    all_y = [ty(y) for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), _MARKERS):
+        for x, y in zip(xs, ys):
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((ty(y) - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{10 ** y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    bot_label = f"{10 ** y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    pad = max(len(top_label), len(bot_label), len(ylabel)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bot_label
+        elif i == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    xticks = f"{x_lo:g}" + " " * (width - len(f"{x_lo:g}") - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(" " * (pad + 2) + xticks)
+    for (name, _), marker in zip(series.items(), _MARKERS):
+        lines.append(" " * (pad + 2) + f"{marker} = {name}")
+    return "\n".join(lines)
+
+
+def scaling_plot(fig5_data: dict, what: str = "solve") -> str:
+    """Render a Fig. 5-style strong-scaling chart from the harness's
+    ``fig5_strong_scaling`` result dictionary."""
+    xs = [float(n) for n in fig5_data["nodes"]]
+    series = {
+        name: [1e3 * v for v in d[what]]
+        for name, d in fig5_data["series"].items()
+    }
+    return ascii_lineplot(
+        xs,
+        series,
+        title=f"Fig. 5 ({what}): strong scaling, n={fig5_data.get('n', '?')} "
+        f"[model ms, log scale]",
+        ylabel="ms",
+    )

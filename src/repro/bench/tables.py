@@ -1,0 +1,48 @@
+"""Table rendering in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "speedup_row", "format_cell"]
+
+
+def format_cell(value, iters: Optional[int] = None, digits: int = 2) -> str:
+    """Render ``time (iters)`` like the paper's tables."""
+    if value is None:
+        return "-"
+    s = f"{value:.{digits}f}"
+    if iters is not None:
+        s += f" ({iters})"
+    return s
+
+
+def speedup_row(
+    baseline: Sequence[float], best: Sequence[float], label: str = "speedup"
+) -> List[str]:
+    """The paper's trailing speedup/slowdown row (baseline / best)."""
+    cells = [label]
+    for b, g in zip(baseline, best):
+        if b is None or g is None or g == 0:
+            cells.append("-")
+        else:
+            cells.append(f"{b / g:.1f}x")
+    return cells
+
+
+def format_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    """Monospace table with a title (printed by the bench targets)."""
+    widths = [len(str(h)) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = [title]
+    lines.append(" | ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,284 @@
+"""Subdomain (and coarse) solver menu.
+
+Table I of the paper: the local overlapping subdomain problems can be
+solved exactly (SuperLU or Tacho direct factorizations), inexactly
+(level-set ILU(k) + SpTRSV), or approximately-iteratively (FastILU +
+FastSpTRSV).  A :class:`LocalSolverSpec` names the combination; its
+:meth:`~LocalSolverSpec.build` factors one subdomain matrix and returns
+a :class:`FactoredLocal` with a uniform ``apply`` plus the per-phase
+kernel profiles the harness prices.
+
+GPU-vs-CPU pairing follows Section VIII-A exactly:
+
+* ``superlu`` -- factorization always on the CPU; the *solve* runs
+  either through SuperLU's internal substitution (CPU) or through the
+  supernodal Kokkos-Kernels SpTRSV (GPU), whose setup must rerun after
+  every numeric factorization (``gpu_solve=True``).
+* ``tacho`` -- factorization and supernodal solves on either space.
+* ``iluk`` -- level-set scheduled SpILU + exact SpTRSV.
+* ``fastilu`` -- Jacobi-sweep factorization + FastSpTRSV solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.machine.kernels import KernelProfile
+from repro.sparse.csr import CsrMatrix
+
+__all__ = ["LocalSolverSpec", "FactoredLocal"]
+
+
+@dataclass(frozen=True)
+class LocalSolverSpec:
+    """Configuration of a local solver (one cell of Table I/IV).
+
+    Attributes
+    ----------
+    kind:
+        ``"superlu"``, ``"tacho"``, ``"iluk"`` or ``"fastilu"``.
+    ordering:
+        ``"nd"`` (METIS-like nested dissection) or ``"natural"``
+        (Table IV's "ND"/"No" rows).
+    ilu_level:
+        Fill level for the incomplete kinds.
+    factor_sweeps:
+        FastILU factorization sweeps (paper default 3).
+    solve_sweeps:
+        FastSpTRSV solve sweeps (paper default 5).
+    factor_damping, solve_damping:
+        Damping factors of the two fixed-point iterations (the "Jacobi
+        iteration count and damping factor" knobs of Table I); the
+        undamped iterations can diverge on stiff elasticity blocks.
+    gpu_solve:
+        Use the GPU solve pairing (supernodal SpTRSV for superlu;
+        level-set vs Fast pairing is implied by ``kind``).
+    """
+
+    kind: str = "tacho"
+    ordering: str = "nd"
+    ilu_level: int = 1
+    factor_sweeps: int = 3
+    solve_sweeps: int = 5
+    factor_damping: float = 0.7
+    solve_damping: float = 0.8
+    gpu_solve: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("superlu", "tacho", "iluk", "fastilu"):
+            raise ValueError(f"unknown local solver kind {self.kind!r}")
+
+    def with_gpu(self, gpu_solve: bool) -> "LocalSolverSpec":
+        """Copy with the GPU pairing switched."""
+        return replace(self, gpu_solve=gpu_solve)
+
+    def build(self, a: CsrMatrix) -> "FactoredLocal":
+        """Factor one subdomain matrix according to this spec."""
+        if self.kind == "superlu":
+            return _build_superlu(a, self)
+        if self.kind == "tacho":
+            return _build_tacho(a, self)
+        if self.kind == "iluk":
+            return _build_iluk(a, self)
+        return _build_fastilu(a, self)
+
+
+class FactoredLocal:
+    """A factored local problem with uniform apply and profiles.
+
+    Attributes
+    ----------
+    apply:
+        Callable mapping a residual restriction to the (approximate)
+        local solution ``A_i^{-1} v``.
+    symbolic_profile:
+        Pattern-analysis work, reusable across refactorizations when
+        ``symbolic_reusable``.
+    numeric_profile:
+        Per-refactorization factorization work.
+    setup_profile:
+        Per-refactorization *solver setup* work (e.g. the KK supernodal
+        SpTRSV setup over SuperLU factors).
+    solve_profile:
+        One application of the local solve.
+    cpu_only_numeric:
+        True when the numeric factorization cannot run on the GPU
+        (SuperLU); the pricing layer then charges it to the CPU even in
+        GPU runs.
+    """
+
+    def __init__(
+        self,
+        apply_fn,
+        symbolic_profile: KernelProfile,
+        numeric_profile: KernelProfile,
+        setup_profile: KernelProfile,
+        solve_profile: KernelProfile,
+        symbolic_reusable: bool,
+        cpu_only_numeric: bool = False,
+        exact: bool = True,
+    ) -> None:
+        self._apply = apply_fn
+        self.symbolic_profile = symbolic_profile
+        self.numeric_profile = numeric_profile
+        self.setup_profile = setup_profile
+        self.solve_profile = solve_profile
+        self.symbolic_reusable = symbolic_reusable
+        self.cpu_only_numeric = cpu_only_numeric
+        self.exact = exact
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        """Apply the (approximate) local inverse."""
+        return self._apply(v)
+
+
+# ----------------------------------------------------------------------
+def _build_superlu(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
+    from repro.direct import GilbertPeierlsLU
+
+    slu = GilbertPeierlsLU(ordering=spec.ordering)
+    slu.factorize(a)
+    setup = KernelProfile()
+    if spec.gpu_solve:
+        # supernodal KK SpTRSV over the LU factors: detection + block
+        # assembly rerun after EVERY numeric factorization (pivoting).
+        snl, setup_l = slu.supernodal_l()
+        from repro.tri.supernodal import SupernodalTriangular
+
+        u_csr = slu.u_csr
+        snu = SupernodalTriangular.from_csc(
+            u_csr.indptr, u_csr.indices, u_csr.data, u_csr.n_rows
+        )
+        setup.extend(setup_l)
+        setup.add(
+            "setup.sptrsv_numeric",
+            flops=0.0,
+            bytes=float(u_csr.nnz * 48),
+            parallelism=float(snu.n_supernodes),
+        )
+        perm, row_perm = slu.perm, slu.row_perm
+
+        def apply_gpu(v: np.ndarray) -> np.ndarray:
+            vp = v[perm][row_perm]
+            y = snl.solve_forward(vp)
+            z = snu.solve_backward(y)
+            out = np.empty_like(np.asarray(z, dtype=np.float64))
+            out[perm] = z
+            return out
+
+        solve_prof = KernelProfile()
+        solve_prof.extend(snl.kernel_profile())
+        solve_prof.extend(snu.kernel_profile())
+        return FactoredLocal(
+            apply_gpu,
+            slu.symbolic_profile,
+            slu.numeric_profile,
+            setup,
+            solve_prof,
+            symbolic_reusable=False,
+            cpu_only_numeric=True,
+        )
+    return FactoredLocal(
+        slu.solve,
+        slu.symbolic_profile,
+        slu.numeric_profile,
+        setup,
+        slu.solve_profile,
+        symbolic_reusable=False,
+        cpu_only_numeric=True,
+    )
+
+
+def _build_tacho(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
+    from repro.direct import MultifrontalCholesky
+
+    t = MultifrontalCholesky(ordering=spec.ordering)
+    t.factorize(a)
+    return FactoredLocal(
+        t.solve,
+        t.symbolic_profile,
+        t.numeric_profile,
+        KernelProfile(),
+        t.solve_profile,
+        symbolic_reusable=True,
+    )
+
+
+def _build_iluk(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
+    from repro.ilu import IlukFactorization
+    from repro.tri.levelset import LevelScheduledTriangular
+
+    f = IlukFactorization(level=spec.ilu_level, ordering=spec.ordering)
+    f.symbolic(a).numeric(a)
+    lsol = LevelScheduledTriangular(f.l, lower=True, unit_diagonal=True)
+    usol = LevelScheduledTriangular(f.u, lower=False)
+    perm = f.perm
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size)
+
+    def apply_fn(v: np.ndarray) -> np.ndarray:
+        vp = v[perm]
+        x = usol.solve(lsol.solve(vp))
+        return x[inv]
+
+    solve_prof = KernelProfile()
+    solve_prof.extend(lsol.kernel_profile())
+    solve_prof.extend(usol.kernel_profile())
+    setup = KernelProfile()
+    setup.add(
+        "setup.sptrsv_levels",
+        flops=0.0,
+        bytes=float((f.l.nnz + f.u.nnz) * 12),
+        parallelism=1.0,
+    )
+    return FactoredLocal(
+        apply_fn,
+        f.symbolic_profile,
+        f.numeric_profile,
+        setup,
+        solve_prof,
+        symbolic_reusable=True,
+        exact=False,
+    )
+
+
+def _build_fastilu(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
+    from repro.ilu import FastIlu
+    from repro.tri.jacobi import JacobiTriangular
+
+    f = FastIlu(
+        level=spec.ilu_level,
+        sweeps=spec.factor_sweeps,
+        ordering=spec.ordering,
+        damping=spec.factor_damping,
+    )
+    f.symbolic(a).numeric(a)
+    lsol = JacobiTriangular(
+        f.l, sweeps=spec.solve_sweeps, unit_diagonal=True, damping=spec.solve_damping
+    )
+    usol = JacobiTriangular(f.u, sweeps=spec.solve_sweeps, damping=spec.solve_damping)
+    perm = f.perm
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size)
+    scale = f.row_scale  # factors approximate S A S (see FastIlu.numeric)
+
+    def apply_fn(v: np.ndarray) -> np.ndarray:
+        vp = scale * v[perm]
+        x = scale * usol.solve(lsol.solve(vp))
+        return x[inv]
+
+    solve_prof = KernelProfile()
+    solve_prof.extend(lsol.kernel_profile())
+    solve_prof.extend(usol.kernel_profile())
+    return FactoredLocal(
+        apply_fn,
+        f.symbolic_profile,
+        f.numeric_profile,
+        KernelProfile(),
+        solve_prof,
+        symbolic_reusable=True,
+        exact=False,
+    )

@@ -1,0 +1,87 @@
+"""Half-precision preconditioning (Section V-A.2).
+
+Trilinos' ``HalfPrecisionOperator`` wraps a preconditioner built in half
+the working precision: input vectors are type-cast down, the operator is
+applied in the lower precision, and the result is cast back up.  GMRES
+itself stays in double precision, so convergence to the double-precision
+tolerance is retained while the (memory-bandwidth-bound) preconditioner
+moves half the bytes -- the effect behind Tables VI/VII.
+
+Substitution note (see DESIGN.md): rather than re-templating every
+kernel on dtype, the wrapped preconditioner is built from a float32-
+*rounded* copy of the matrix and its apply result is rounded to float32.
+That reproduces the numerical behaviour (a preconditioner accurate to
+single precision; iteration counts unchanged) and the cost model halves
+the byte counts of every kernel profile.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.machine.kernels import Kernel, KernelProfile
+
+__all__ = ["HalfPrecisionOperator", "round_to_single"]
+
+
+def round_to_single(values: np.ndarray) -> np.ndarray:
+    """Round float64 values through float32 (precision emulation)."""
+    return np.asarray(values, dtype=np.float64).astype(np.float32).astype(np.float64)
+
+
+class HalfPrecisionOperator:
+    """Apply a preconditioner in emulated single precision.
+
+    Parameters
+    ----------
+    inner:
+        A preconditioner object with ``apply`` and the per-rank profile
+        methods of :class:`~repro.dd.two_level.GDSWPreconditioner`
+        (already built from a float32-rounded matrix).
+
+    The profile accessors return the inner profiles with byte counts
+    halved, plus the explicit type-cast kernels of the wrapper.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        """Cast down, apply the inner operator, cast back up."""
+        v32 = np.asarray(v, dtype=np.float32)
+        y = self.inner.apply(v32.astype(np.float64))
+        return y.astype(np.float32).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    def _cast_kernels(self, n: int) -> KernelProfile:
+        prof = KernelProfile()
+        prof.add("apply.precision_cast", flops=0.0, bytes=12.0 * n, parallelism=float(n))
+        return prof
+
+    def rank_setup_profile(self, rank: int, refactorization: bool = False) -> KernelProfile:
+        """Inner setup kernels with halved memory traffic."""
+        return self.inner.rank_setup_profile(rank, refactorization).scaled_bytes(0.5)
+
+    def rank_apply_profile(self, rank: int) -> KernelProfile:
+        """Inner apply kernels at half the bytes plus the casts."""
+        prof = self.inner.rank_apply_profile(rank).scaled_bytes(0.5)
+        n_local = self.inner.one_level.dof_sets[rank].size
+        prof.extend(self._cast_kernels(n_local))
+        return prof
+
+    def halo_doubles(self, rank: int) -> int:
+        """Halo payload; halved since the halo moves float32 values."""
+        return (self.inner.halo_doubles(rank) + 1) // 2
+
+    # passthroughs used by the harness
+    @property
+    def n_coarse(self) -> int:
+        """Coarse dimension of the wrapped operator."""
+        return self.inner.n_coarse
+
+    @property
+    def dec(self):
+        """Decomposition of the wrapped operator."""
+        return self.inner.dec

@@ -1,0 +1,253 @@
+"""The two-level GDSW preconditioner (Eq. 1).
+
+``M^{-1} = Phi A_0^{-1} Phi^T + sum_i R_i^T A_i^{-1} R_i``
+
+combining the one-level overlapping additive Schwarz operator with the
+energy-minimizing GDSW/rGDSW coarse level:
+
+* numeric setup -- factor the overlapping local matrices, build the
+  interface basis, extend it harmonically (Eq. 2), assemble the coarse
+  matrix ``A0 = Phi^T A Phi`` with SpGEMM, and factor ``A0``;
+* apply -- one local solve per rank plus the coarse solve (replicated,
+  entered through a coarse allreduce).
+
+Every phase exposes per-rank :class:`~repro.machine.kernels.KernelProfile`
+objects; the Summit-node model in :mod:`repro.runtime` turns them into
+the paper's time tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.dd.coarse_space import (
+    CoarseSpace,
+    build_coarse_space,
+    energy_minimizing_extension,
+)
+from repro.dd.decomposition import Decomposition
+from repro.dd.interface import analyze_interface
+from repro.dd.local_solvers import LocalSolverSpec
+from repro.dd.schwarz import OneLevelSchwarz
+from repro.machine.kernels import KernelProfile
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.spgemm import spgemm, spgemm_flops
+
+__all__ = ["GDSWPreconditioner"]
+
+
+class GDSWPreconditioner:
+    """Two-level overlapping Schwarz preconditioner of GDSW type.
+
+    Parameters
+    ----------
+    dec:
+        Nonoverlapping decomposition of the assembled problem.
+    nullspace:
+        ``(n, n_n)`` Neumann null space (rigid-body modes / constants).
+    local_spec:
+        Local subdomain solver configuration.
+    coarse_spec:
+        Solver for the coarse matrix; defaults to Tacho with natural
+        ordering (the coarse matrix is small and dense-ish).
+    overlap:
+        Algebraic overlap layers (paper: 1).
+    variant:
+        ``"rgdsw"`` (paper default), ``"gdsw"``, or ``"agdsw"`` (the
+        adaptive enrichment for heterogeneous coefficients; Section III).
+    dim:
+        Spatial dimension for interface classification.
+    extension_spec:
+        Solver used for the interior extension solves of Eq. (2); the
+        paper uses Tacho here in all configurations.
+    adaptive_tol:
+        Eigenvalue threshold of the AGDSW enrichment (only used with
+        ``variant="agdsw"``).
+    coarse_solver:
+        ``"direct"`` (default) factors ``A0`` exactly; ``"multilevel"``
+        builds a second GDSW level on the coarse problem and solves it
+        inexactly (the three-level method of Section III).
+    multilevel_parts:
+        Second-level subdomain count for ``coarse_solver="multilevel"``.
+    """
+
+    def __init__(
+        self,
+        dec: Decomposition,
+        nullspace: np.ndarray,
+        local_spec: Optional[LocalSolverSpec] = None,
+        coarse_spec: Optional[LocalSolverSpec] = None,
+        overlap: int = 1,
+        variant: str = "rgdsw",
+        dim: int = 3,
+        extension_spec: Optional[LocalSolverSpec] = None,
+        adaptive_tol: float = 1e-2,
+        coarse_solver: str = "direct",
+        multilevel_parts: int = 4,
+    ) -> None:
+        if coarse_solver not in ("direct", "multilevel"):
+            raise ValueError("coarse_solver must be 'direct' or 'multilevel'")
+        self.dec = dec
+        local_spec = local_spec or LocalSolverSpec()
+        coarse_spec = coarse_spec or LocalSolverSpec(kind="tacho", ordering="natural")
+        extension_spec = extension_spec or LocalSolverSpec(kind="tacho", ordering="nd")
+        self.local_spec = local_spec
+        self.variant = variant
+
+        # ---- one-level part ----
+        self.one_level = OneLevelSchwarz(dec, local_spec, overlap=overlap)
+
+        # ---- coarse level ----
+        self.analysis = analyze_interface(dec, dim=dim)
+        if variant == "agdsw":
+            from repro.dd.adaptive import build_adaptive_coarse_space
+
+            self.space: CoarseSpace = build_adaptive_coarse_space(
+                dec, self.analysis, nullspace, tol=adaptive_tol
+            )
+        else:
+            self.space = build_coarse_space(
+                dec, self.analysis, nullspace, variant=variant
+            )
+
+        def _ext_factory():
+            from repro.direct import direct_solver
+
+            kind = "tacho" if extension_spec.kind != "superlu" else "superlu"
+            return direct_solver(kind, ordering=extension_spec.ordering)
+
+        self._ext_rank_profiles: List[KernelProfile]
+        if self.space.n_coarse > 0:
+            phi, ext_spgemm, ext_ranks = energy_minimizing_extension(
+                dec, self.analysis, self.space, _ext_factory
+            )
+            self.phi: Optional[CsrMatrix] = phi
+            self._ext_spgemm = ext_spgemm
+            self._ext_rank_profiles = ext_ranks
+            # A0 = Phi^T A Phi
+            at_phi = spgemm(dec.a, phi)
+            self._a0_flops = spgemm_flops(dec.a, phi)
+            phi_t = phi.transpose()
+            self.a0 = spgemm(phi_t, at_phi)
+            self._a0_flops += spgemm_flops(phi_t, at_phi)
+            if coarse_solver == "multilevel" and self.a0.n_rows > multilevel_parts:
+                from repro.dd.multilevel import MultilevelCoarseSolver
+
+                self.coarse = MultilevelCoarseSolver(
+                    self.a0,
+                    n_parts=multilevel_parts,
+                    n_null=np.atleast_2d(nullspace).shape[1],
+                )
+            else:
+                self.coarse = coarse_spec.build(self.a0)
+        else:  # single subdomain: no interface, pure one-level
+            self.phi = None
+            self.a0 = None
+            self.coarse = None
+            self._ext_spgemm = KernelProfile()
+            self._ext_rank_profiles = [KernelProfile() for _ in dec.node_parts]
+            self._a0_flops = 0
+
+        # per-rank nnz of Phi restricted to owned dofs (apply-cost split)
+        if self.phi is not None:
+            row_nodes = (
+                np.repeat(np.arange(dec.a.n_rows, dtype=np.int64), self.phi.row_nnz())
+                // dec.dofs_per_node
+            )
+            owners = dec.node_owner[row_nodes]
+            self._phi_rank_nnz = np.bincount(
+                owners, minlength=dec.n_subdomains
+            ).astype(np.int64)
+        else:
+            self._phi_rank_nnz = np.zeros(dec.n_subdomains, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_coarse(self) -> int:
+        """Coarse-space dimension ``n_c * n_n`` (after rank reduction)."""
+        return self.space.n_coarse
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        """Apply ``M^{-1} v`` (additive combination of both levels)."""
+        v = np.asarray(v, dtype=np.float64)
+        out = self.one_level.apply(v)
+        if self.phi is not None:
+            vc = self.phi.rmatvec(v)
+            xc = self.coarse.apply(vc)
+            out = out + self.phi.matvec(xc)
+        return out
+
+    # ------------------------------------------------------------------
+    # cost profiles
+    # ------------------------------------------------------------------
+    def rank_setup_profile(self, rank: int, refactorization: bool = False) -> KernelProfile:
+        """Numeric-setup kernels executed by ``rank``.
+
+        ``refactorization=True`` models the repeated-factorization
+        scenario (same pattern, new values): symbolic work is skipped
+        where the solver allows reuse.
+        """
+        prof = KernelProfile()
+        prof.extend(
+            self.one_level.rank_setup_profile(
+                rank, include_symbolic=not refactorization
+            )
+        )
+        prof.extend(self._ext_rank_profiles[rank])
+        # distributed share of the coarse SpGEMM + its communication
+        n_ranks = self.dec.n_subdomains
+        if self.phi is not None and self._a0_flops:
+            share = self._a0_flops / n_ranks
+            prof.add(
+                "coarse.spgemm_a0",
+                flops=float(share),
+                bytes=float(share * 8),
+                parallelism=float(max(self._phi_rank_nnz[rank], 1)),
+            )
+            prof.add(
+                "comm.coarse_assembly",
+                flops=0.0,
+                bytes=float(self.a0.nnz * 16 / max(n_ranks, 1) + self.n_coarse * 8),
+                parallelism=1.0,
+            )
+            # distributed coarse factorization: the coarse problem lives
+            # on a subcommunicator, so each rank carries a 1/P share
+            share_f = 1.0 / n_ranks
+            if not refactorization or not self.coarse.symbolic_reusable:
+                prof.extend(self.coarse.symbolic_profile.work_scaled(share_f))
+            prof.extend(self.coarse.numeric_profile.work_scaled(share_f))
+            prof.extend(self.coarse.setup_profile.work_scaled(share_f))
+        return prof
+
+    def rank_apply_profile(self, rank: int) -> KernelProfile:
+        """Kernels of one preconditioner application on ``rank``."""
+        prof = self.one_level.rank_solve_profile(rank)
+        if self.phi is not None:
+            nnz_r = float(self._phi_rank_nnz[rank])
+            nc = float(self.n_coarse)
+            prof.add(
+                "coarse.phi_restrict",
+                flops=2.0 * nnz_r,
+                bytes=nnz_r * 16.0 + nc * 8.0,
+                parallelism=max(nnz_r, 1.0),
+            )
+            prof.add(
+                "comm.coarse_allreduce", flops=0.0, bytes=nc * 8.0, parallelism=1.0
+            )
+            # distributed coarse solve: 1/P share per rank
+            prof.extend(
+                self.coarse.solve_profile.work_scaled(1.0 / self.dec.n_subdomains)
+            )
+            prof.add(
+                "coarse.phi_prolong",
+                flops=2.0 * nnz_r,
+                bytes=nnz_r * 16.0 + nc * 8.0,
+                parallelism=max(nnz_r, 1.0),
+            )
+        return prof
+
+    def halo_doubles(self, rank: int) -> int:
+        """Halo payload (float64 count) of one apply on ``rank``."""
+        return self.one_level.halo_doubles[rank]

@@ -1,0 +1,88 @@
+"""Three-phase direct-solver interface and factory.
+
+Every Trilinos linear solver separates (a) symbolic factorization, (b)
+numeric factorization, and (c) solve (Section V-A.1 of the paper); the
+split matters because symbolic analysis is hard to parallelize (done on
+CPU, reused across refactorizations when the pattern allows) while the
+numeric and solve phases are the GPU targets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.machine.kernels import KernelProfile
+from repro.sparse.csr import CsrMatrix
+
+__all__ = ["DirectSolver", "direct_solver"]
+
+
+class DirectSolver:
+    """Abstract three-phase sparse direct solver.
+
+    Usage::
+
+        solver = direct_solver("tacho", ordering="nd")
+        solver.symbolic(a)   # pattern-only analysis (CPU)
+        solver.numeric(a)    # numerical factorization
+        x = solver.solve(b)  # triangular solves
+
+    Subclasses set the phase profiles (``symbolic_profile``,
+    ``numeric_profile``, ``solve_profile``) and
+    ``symbolic_reusable`` -- True when a refactorization with the same
+    pattern can skip both the symbolic phase *and* any solver setup
+    derived from the factor structure (Tacho yes, SuperLU no).
+    """
+
+    #: can the symbolic phase be reused across numeric refactorizations?
+    symbolic_reusable: bool = True
+
+    def __init__(self) -> None:
+        self.symbolic_profile: KernelProfile = KernelProfile()
+        self.numeric_profile: KernelProfile = KernelProfile()
+        self.solve_profile: KernelProfile = KernelProfile()
+        self._symbolic_done = False
+        self._numeric_done = False
+
+    # -- phases --------------------------------------------------------
+    def symbolic(self, a: CsrMatrix) -> "DirectSolver":
+        """Pattern-only analysis; must precede :meth:`numeric`."""
+        raise NotImplementedError
+
+    def numeric(self, a: CsrMatrix) -> "DirectSolver":
+        """Numerical factorization of ``a`` (same pattern as symbolic)."""
+        raise NotImplementedError
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` (1-D or 2-D ``b``)."""
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------
+    def factorize(self, a: CsrMatrix) -> "DirectSolver":
+        """Convenience: symbolic followed by numeric."""
+        return self.symbolic(a).numeric(a)
+
+    def _require(self, phase: str) -> None:
+        if phase == "numeric" and not self._symbolic_done:
+            raise RuntimeError("call symbolic() before numeric()")
+        if phase == "solve" and not self._numeric_done:
+            raise RuntimeError("call numeric() before solve()")
+
+
+def direct_solver(name: str, **options) -> DirectSolver:
+    """Create a direct solver by paper name.
+
+    ``"superlu"`` maps to the Gilbert--Peierls LU with partial pivoting;
+    ``"tacho"`` to the multifrontal supernodal Cholesky.
+    """
+    from repro.direct.gp_lu import GilbertPeierlsLU
+    from repro.direct.multifrontal import MultifrontalCholesky
+
+    name = name.lower()
+    if name in ("superlu", "gp", "gilbert-peierls", "lu"):
+        return GilbertPeierlsLU(**options)
+    if name in ("tacho", "multifrontal", "cholesky"):
+        return MultifrontalCholesky(**options)
+    raise ValueError(f"unknown direct solver {name!r}; use 'superlu' or 'tacho'")

@@ -1,0 +1,38 @@
+"""Finite-element problem generators.
+
+The paper's experiments solve sparse systems from the discretization of
+3D linear elasticity (plus the Laplace model problem used to explain the
+GDSW construction).  This subpackage assembles those systems from scratch
+on structured hexahedral grids:
+
+* :mod:`repro.fem.grid` -- structured 2D/3D grids with node/element
+  numbering, boundary extraction and box partitions;
+* :mod:`repro.fem.quadrature` / :mod:`repro.fem.shape_functions` -- Gauss
+  quadrature and trilinear (Q1) shape functions;
+* :mod:`repro.fem.laplace` -- Poisson/Laplace stiffness matrices;
+* :mod:`repro.fem.elasticity` -- 3D linear elasticity (3 dofs/node) with
+  isotropic Hooke law;
+* :mod:`repro.fem.nullspace` -- the null spaces of the corresponding
+  Neumann operators (constants; rigid-body modes), which feed the GDSW
+  coarse space (Section III, step 3 of the paper).
+"""
+
+from repro.fem.grid import StructuredGrid
+from repro.fem.laplace import laplace_3d, laplace_2d
+from repro.fem.elasticity import elasticity_3d, ElasticityProblem
+from repro.fem.nullspace import (
+    constant_nullspace,
+    rigid_body_modes,
+    translations_only,
+)
+
+__all__ = [
+    "ElasticityProblem",
+    "StructuredGrid",
+    "constant_nullspace",
+    "elasticity_3d",
+    "laplace_2d",
+    "laplace_3d",
+    "rigid_body_modes",
+    "translations_only",
+]

@@ -1,0 +1,171 @@
+"""Structured grids of hexahedral (3D) or quadrilateral (2D) elements.
+
+A :class:`StructuredGrid` numbers nodes lexicographically (x fastest) and
+provides the element connectivity, node coordinates, boundary node sets,
+and the box decompositions into subdomains that drive the paper's weak-
+and strong-scaling experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["StructuredGrid"]
+
+
+@dataclass(frozen=True)
+class StructuredGrid:
+    """A structured grid of ``nex * ney * nez`` elements on ``[0, Lx] x ...``.
+
+    Parameters
+    ----------
+    nex, ney, nez:
+        Element counts per axis.  ``nez = 0`` gives a 2D quadrilateral
+        grid.
+    lengths:
+        Physical domain lengths per axis; element spacing is uniform.
+    """
+
+    nex: int
+    ney: int
+    nez: int = 0
+    lengths: Tuple[float, float, float] = (1.0, 1.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if self.nex < 1 or self.ney < 1 or self.nez < 0:
+            raise ValueError("element counts must be positive (nez may be 0 for 2D)")
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Spatial dimension (2 or 3)."""
+        return 2 if self.nez == 0 else 3
+
+    @property
+    def node_counts(self) -> Tuple[int, ...]:
+        """Nodes per axis."""
+        if self.dim == 2:
+            return (self.nex + 1, self.ney + 1)
+        return (self.nex + 1, self.ney + 1, self.nez + 1)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+        return int(np.prod(self.node_counts))
+
+    @property
+    def n_elements(self) -> int:
+        """Total element count."""
+        return self.nex * self.ney * max(self.nez, 1)
+
+    @property
+    def spacing(self) -> Tuple[float, ...]:
+        """Element edge lengths per axis."""
+        if self.dim == 2:
+            return (self.lengths[0] / self.nex, self.lengths[1] / self.ney)
+        return (
+            self.lengths[0] / self.nex,
+            self.lengths[1] / self.ney,
+            self.lengths[2] / self.nez,
+        )
+
+    # ------------------------------------------------------------------
+    def node_id(self, ix, iy, iz=0):
+        """Lexicographic node id from per-axis indices (x fastest)."""
+        nx, ny = self.nex + 1, self.ney + 1
+        if self.dim == 2:
+            return np.asarray(ix) + nx * np.asarray(iy)
+        return np.asarray(ix) + nx * (np.asarray(iy) + ny * np.asarray(iz))
+
+    def node_coordinates(self) -> np.ndarray:
+        """``(n_nodes, dim)`` array of node coordinates."""
+        if self.dim == 2:
+            hx, hy = self.spacing
+            ys, xs = np.meshgrid(
+                np.arange(self.ney + 1) * hy, np.arange(self.nex + 1) * hx, indexing="ij"
+            )
+            return np.column_stack([xs.ravel(), ys.ravel()])
+        hx, hy, hz = self.spacing
+        zs, ys, xs = np.meshgrid(
+            np.arange(self.nez + 1) * hz,
+            np.arange(self.ney + 1) * hy,
+            np.arange(self.nex + 1) * hx,
+            indexing="ij",
+        )
+        return np.column_stack([xs.ravel(), ys.ravel(), zs.ravel()])
+
+    def element_connectivity(self) -> np.ndarray:
+        """``(n_elements, 4 or 8)`` node ids for every element.
+
+        Local node ordering follows the standard Q1 convention: counter-
+        clockwise in the bottom plane then the top plane.
+        """
+        if self.dim == 2:
+            ex, ey = np.meshgrid(np.arange(self.nex), np.arange(self.ney), indexing="ij")
+            ex, ey = ex.ravel(order="F"), ey.ravel(order="F")
+            n0 = self.node_id(ex, ey)
+            n1 = self.node_id(ex + 1, ey)
+            n2 = self.node_id(ex + 1, ey + 1)
+            n3 = self.node_id(ex, ey + 1)
+            return np.column_stack([n0, n1, n2, n3]).astype(np.int64)
+        ez, ey, ex = np.meshgrid(
+            np.arange(self.nez), np.arange(self.ney), np.arange(self.nex), indexing="ij"
+        )
+        ex, ey, ez = ex.ravel(), ey.ravel(), ez.ravel()
+        corners = [
+            (0, 0, 0), (1, 0, 0), (1, 1, 0), (0, 1, 0),
+            (0, 0, 1), (1, 0, 1), (1, 1, 1), (0, 1, 1),
+        ]
+        cols = [self.node_id(ex + dx, ey + dy, ez + dz) for dx, dy, dz in corners]
+        return np.column_stack(cols).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def boundary_nodes(self, face: str) -> np.ndarray:
+        """Node ids of a boundary face: one of x0, x1, y0, y1, z0, z1."""
+        counts = self.node_counts
+        idx = [np.arange(c) for c in counts]
+        axis = {"x": 0, "y": 1, "z": 2}[face[0]]
+        if axis >= self.dim:
+            raise ValueError(f"face {face!r} invalid for a {self.dim}D grid")
+        idx[axis] = np.array([0 if face[1] == "0" else counts[axis] - 1])
+        if self.dim == 2:
+            ix, iy = np.meshgrid(idx[0], idx[1], indexing="ij")
+            return np.unique(self.node_id(ix.ravel(), iy.ravel()))
+        ix, iy, iz = np.meshgrid(idx[0], idx[1], idx[2], indexing="ij")
+        return np.unique(self.node_id(ix.ravel(), iy.ravel(), iz.ravel()))
+
+    # ------------------------------------------------------------------
+    def box_partition(self, px: int, py: int, pz: int = 1) -> List[np.ndarray]:
+        """Partition *nodes* into ``px*py*pz`` boxes (nonoverlapping subdomains).
+
+        Every node is owned by exactly one subdomain; boxes split the node
+        index ranges as evenly as possible.  Returns one sorted int64 node
+        array per subdomain, ordered with the x-box index fastest, which is
+        the decomposition of Fig. 1/Fig. 3 of the paper.
+        """
+        counts = self.node_counts
+        parts = [px, py, pz][: self.dim]
+        for c, p in zip(counts, parts):
+            if p < 1 or p > c:
+                raise ValueError(f"cannot split {c} nodes into {p} boxes")
+        splits = [np.array_split(np.arange(c), p) for c, p in zip(counts, parts)]
+        out: List[np.ndarray] = []
+        if self.dim == 2:
+            for jy in range(py):
+                for jx in range(px):
+                    ix, iy = np.meshgrid(splits[0][jx], splits[1][jy], indexing="ij")
+                    out.append(np.sort(self.node_id(ix.ravel(), iy.ravel())))
+            return out
+        for jz in range(pz):
+            for jy in range(py):
+                for jx in range(px):
+                    ix, iy, iz = np.meshgrid(
+                        splits[0][jx], splits[1][jy], splits[2][jz], indexing="ij"
+                    )
+                    out.append(
+                        np.sort(self.node_id(ix.ravel(), iy.ravel(), iz.ravel()))
+                    )
+        return out

@@ -1,0 +1,147 @@
+"""Laplace (Poisson) model problems on structured grids.
+
+The scalar diffusion problem is the canonical test problem of GDSW theory
+(its Neumann null space is the constant vector); the paper uses it to
+illustrate the method (Fig. 1) and we use it throughout the unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.fem.grid import StructuredGrid
+from repro.fem.quadrature import tensor_rule
+from repro.fem.shape_functions import jacobian_box, q1_gradients
+from repro.sparse.csr import CsrMatrix
+
+__all__ = ["laplace_2d", "laplace_3d", "ScalarProblem", "element_stiffness_laplace"]
+
+
+@dataclass
+class ScalarProblem:
+    """An assembled scalar diffusion problem with Dirichlet BCs eliminated.
+
+    Attributes
+    ----------
+    a:
+        Reduced (free-dof) stiffness matrix, SPD.
+    b:
+        Load vector for a unit source term.
+    grid:
+        The generating grid.
+    free_nodes:
+        Grid node ids of the free dofs, in reduced-dof order (1 dof/node).
+    coordinates:
+        ``(n_free, dim)`` coordinates of the free nodes.
+    dofs_per_node:
+        Always 1 for scalar problems.
+    """
+
+    a: CsrMatrix
+    b: np.ndarray
+    grid: StructuredGrid
+    free_nodes: np.ndarray
+    coordinates: np.ndarray
+    dofs_per_node: int = 1
+
+
+def element_stiffness_laplace(h: Tuple[float, ...]) -> np.ndarray:
+    """Q1 element stiffness for ``-div(grad u)`` on a box with edges ``h``."""
+    dim = len(h)
+    pts, wts = tensor_rule(dim, 2)
+    grads = q1_gradients(pts)  # (nq, na, dim) reference gradients
+    jinv, det = jacobian_box(h)
+    phys = grads * jinv[None, None, :]  # physical gradients
+    # K_ab = sum_q w_q det * grad_a . grad_b
+    return np.einsum("q,qad,qbd->ab", wts * det, phys, phys)
+
+
+def _assemble_scalar(
+    grid: StructuredGrid,
+    ke: np.ndarray,
+    fe: np.ndarray,
+    coefficient: Optional[np.ndarray] = None,
+):
+    conn = grid.element_connectivity()  # (ne, na)
+    ne, na = conn.shape
+    rows = np.repeat(conn, na, axis=1).ravel()
+    cols = np.tile(conn, (1, na)).ravel()
+    if coefficient is None:
+        vals = np.tile(ke.ravel(), ne)
+    else:
+        coefficient = np.asarray(coefficient, dtype=np.float64)
+        if coefficient.shape != (ne,):
+            raise ValueError(f"coefficient must have one value per element ({ne})")
+        vals = (coefficient[:, None] * ke.ravel()[None, :]).ravel()
+    a_full = CsrMatrix.from_coo(rows, cols, vals, (grid.n_nodes, grid.n_nodes))
+    b_full = np.zeros(grid.n_nodes)
+    np.add.at(b_full, conn.ravel(), np.tile(fe, ne))
+    return a_full, b_full
+
+
+def _fixed_nodes(grid: StructuredGrid, dirichlet_faces) -> np.ndarray:
+    if not dirichlet_faces:  # pure Neumann problem
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate([grid.boundary_nodes(f) for f in dirichlet_faces]))
+
+
+def _reduce_dirichlet(grid: StructuredGrid, a_full, b_full, fixed: np.ndarray):
+    from repro.sparse.blocks import extract_submatrix
+
+    mask = np.zeros(grid.n_nodes, dtype=bool)
+    mask[fixed] = True
+    free = np.flatnonzero(~mask).astype(np.int64)
+    a = extract_submatrix(a_full, free, free)
+    return a, b_full[free], free
+
+
+def laplace_3d(
+    nex: int,
+    ney: Optional[int] = None,
+    nez: Optional[int] = None,
+    dirichlet_faces: Tuple[str, ...] = ("x0",),
+    coefficient: Optional[np.ndarray] = None,
+) -> ScalarProblem:
+    """Assemble the 3D Poisson problem on an ``nex x ney x nez`` grid.
+
+    Homogeneous Dirichlet conditions on ``dirichlet_faces`` (default: the
+    ``x = 0`` face, matching the clamped elasticity setup); unit source
+    term.  ``coefficient`` optionally gives a per-element diffusion
+    coefficient (piecewise-constant; the heterogeneous/high-contrast
+    setting that motivates adaptive coarse spaces).
+    """
+    ney = nex if ney is None else ney
+    nez = nex if nez is None else nez
+    grid = StructuredGrid(nex, ney, nez)
+    ke = element_stiffness_laplace(grid.spacing)
+    # consistent load for f = 1: integral of each shape function
+    fe = np.full(8, np.prod(grid.spacing) / 8.0)
+    a_full, b_full = _assemble_scalar(grid, ke, fe, coefficient)
+    fixed = _fixed_nodes(grid, dirichlet_faces)
+    a, b, free = _reduce_dirichlet(grid, a_full, b_full, fixed)
+    coords = grid.node_coordinates()[free]
+    return ScalarProblem(a=a, b=b, grid=grid, free_nodes=free, coordinates=coords)
+
+
+def laplace_2d(
+    nex: int,
+    ney: Optional[int] = None,
+    dirichlet_faces: Tuple[str, ...] = ("x0",),
+    coefficient: Optional[np.ndarray] = None,
+) -> ScalarProblem:
+    """Assemble the 2D Poisson problem on an ``nex x ney`` grid.
+
+    ``coefficient`` optionally gives per-element diffusion values.
+    """
+    ney = nex if ney is None else ney
+    grid = StructuredGrid(nex, ney, 0)
+    ke = element_stiffness_laplace(grid.spacing)
+    fe = np.full(4, np.prod(grid.spacing) / 4.0)
+    a_full, b_full = _assemble_scalar(grid, ke, fe, coefficient)
+    fixed = _fixed_nodes(grid, dirichlet_faces)
+    a, b, free = _reduce_dirichlet(grid, a_full, b_full, fixed)
+    coords = grid.node_coordinates()[free]
+    return ScalarProblem(a=a, b=b, grid=grid, free_nodes=free, coordinates=coords)

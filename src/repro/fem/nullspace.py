@@ -1,0 +1,75 @@
+"""Null spaces of the Neumann operators (GDSW input ``Z``).
+
+Step 3 of the GDSW construction (Section III of the paper) needs the null
+space of the *Neumann* matrix corresponding to ``A``:
+
+* scalar diffusion -- the constant vector;
+* 3D linear elasticity -- the six (linearized) rigid-body modes: three
+  translations and three linearized rotations.  As in [Heinlein et al.
+  2021], a translations-only variant is also provided since rotations
+  cannot be recovered purely algebraically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["constant_nullspace", "rigid_body_modes", "translations_only"]
+
+
+def constant_nullspace(n: int) -> np.ndarray:
+    """Null space of a scalar Neumann Laplacian: the constant vector.
+
+    Returns an ``(n, 1)`` array of ones.
+    """
+    return np.ones((n, 1))
+
+
+def translations_only(n_nodes: int, dofs_per_node: int = 3) -> np.ndarray:
+    """Translational rigid-body modes only (the 'algebraic' variant).
+
+    Returns ``(n_nodes * dofs_per_node, dofs_per_node)``; column ``c`` is
+    the unit translation of component ``c``.
+    """
+    z = np.zeros((n_nodes * dofs_per_node, dofs_per_node))
+    for c in range(dofs_per_node):
+        z[c::dofs_per_node, c] = 1.0
+    return z
+
+
+def rigid_body_modes(coordinates: np.ndarray) -> np.ndarray:
+    """All six rigid-body modes of 3D elasticity at the given nodes.
+
+    Parameters
+    ----------
+    coordinates:
+        ``(n_nodes, 3)`` node positions.
+
+    Returns
+    -------
+    ``(3 * n_nodes, 6)``: three translations followed by the three
+    linearized rotations about the centroid,
+    ``r_x = (0, -z, y)``, ``r_y = (z, 0, -x)``, ``r_z = (-y, x, 0)``.
+    Centering at the centroid improves the conditioning of the coarse
+    basis (the modes stay O(1) regardless of domain position).
+    """
+    coords = np.asarray(coordinates, dtype=np.float64)
+    if coords.ndim != 2 or coords.shape[1] != 3:
+        raise ValueError("coordinates must be (n_nodes, 3)")
+    n = coords.shape[0]
+    c = coords - coords.mean(axis=0)
+    x, y, z = c[:, 0], c[:, 1], c[:, 2]
+    modes = np.zeros((3 * n, 6))
+    modes[0::3, 0] = 1.0
+    modes[1::3, 1] = 1.0
+    modes[2::3, 2] = 1.0
+    # rotation about x: (0, -z, y)
+    modes[1::3, 3] = -z
+    modes[2::3, 3] = y
+    # rotation about y: (z, 0, -x)
+    modes[0::3, 4] = z
+    modes[2::3, 4] = -x
+    # rotation about z: (-y, x, 0)
+    modes[0::3, 5] = -y
+    modes[1::3, 5] = x
+    return modes

@@ -1,0 +1,60 @@
+"""Gauss--Legendre quadrature on the reference cube/square.
+
+Only the tensor-product 2-point rule is needed for Q1 elements (it
+integrates the trilinear stiffness exactly on affine elements), but the
+1- and 3-point rules are provided for the convergence tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["gauss_points_1d", "tensor_rule"]
+
+_GAUSS_1D = {
+    1: (np.array([0.0]), np.array([2.0])),
+    2: (
+        np.array([-1.0 / np.sqrt(3.0), 1.0 / np.sqrt(3.0)]),
+        np.array([1.0, 1.0]),
+    ),
+    3: (
+        np.array([-np.sqrt(3.0 / 5.0), 0.0, np.sqrt(3.0 / 5.0)]),
+        np.array([5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0]),
+    ),
+}
+
+
+def gauss_points_1d(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Nodes and weights of the n-point Gauss rule on [-1, 1] (n <= 3)."""
+    try:
+        return _GAUSS_1D[n]
+    except KeyError:
+        raise ValueError(f"unsupported rule order {n}; use 1, 2, or 3") from None
+
+
+def tensor_rule(dim: int, n: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+    """Tensor-product Gauss rule on the reference square/cube ``[-1,1]^dim``.
+
+    Returns ``(points, weights)`` with ``points`` of shape
+    ``(n**dim, dim)``.
+    """
+    x, w = gauss_points_1d(n)
+    if dim == 1:
+        return x[:, None], w
+    if dim == 2:
+        xi, eta = np.meshgrid(x, x, indexing="ij")
+        wi, we = np.meshgrid(w, w, indexing="ij")
+        return (
+            np.column_stack([xi.ravel(), eta.ravel()]),
+            (wi * we).ravel(),
+        )
+    if dim == 3:
+        xi, eta, zeta = np.meshgrid(x, x, x, indexing="ij")
+        w3 = np.einsum("i,j,k->ijk", w, w, w)
+        return (
+            np.column_stack([xi.ravel(), eta.ravel(), zeta.ravel()]),
+            w3.ravel(),
+        )
+    raise ValueError("dim must be 1, 2, or 3")

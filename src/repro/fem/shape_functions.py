@@ -1,0 +1,74 @@
+"""Q1 (bi/trilinear) shape functions on the reference element.
+
+Local node ordering matches :meth:`repro.fem.grid.StructuredGrid.element_connectivity`:
+counter-clockwise in the bottom plane, then the top plane.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["q1_shape", "q1_gradients", "REF_CORNERS_2D", "REF_CORNERS_3D"]
+
+# reference corner coordinates in {-1, +1}^d matching the connectivity order
+REF_CORNERS_2D = np.array(
+    [[-1, -1], [1, -1], [1, 1], [-1, 1]], dtype=np.float64
+)
+REF_CORNERS_3D = np.array(
+    [
+        [-1, -1, -1], [1, -1, -1], [1, 1, -1], [-1, 1, -1],
+        [-1, -1, 1], [1, -1, 1], [1, 1, 1], [-1, 1, 1],
+    ],
+    dtype=np.float64,
+)
+
+
+def q1_shape(points: np.ndarray) -> np.ndarray:
+    """Shape-function values ``N`` at reference points.
+
+    Parameters
+    ----------
+    points:
+        ``(nq, dim)`` reference coordinates in ``[-1, 1]^dim``.
+
+    Returns
+    -------
+    ``(nq, n_nodes)`` with ``n_nodes = 2**dim``.
+    """
+    points = np.atleast_2d(points)
+    dim = points.shape[1]
+    corners = REF_CORNERS_2D if dim == 2 else REF_CORNERS_3D
+    # N_a(x) = prod_d (1 + x_d * c_{a,d}) / 2
+    return np.prod(1.0 + points[:, None, :] * corners[None, :, :], axis=2) / 2**dim
+
+
+def q1_gradients(points: np.ndarray) -> np.ndarray:
+    """Reference-space gradients ``dN/dxi`` at reference points.
+
+    Returns
+    -------
+    ``(nq, n_nodes, dim)``.
+    """
+    points = np.atleast_2d(points)
+    dim = points.shape[1]
+    corners = REF_CORNERS_2D if dim == 2 else REF_CORNERS_3D
+    terms = 1.0 + points[:, None, :] * corners[None, :, :]  # (nq, na, dim)
+    grads = np.empty((points.shape[0], corners.shape[0], dim))
+    for d in range(dim):
+        others = [e for e in range(dim) if e != d]
+        grads[:, :, d] = corners[None, :, d] * np.prod(terms[:, :, others], axis=2)
+    return grads / 2**dim
+
+
+def jacobian_box(h: Tuple[float, ...]) -> Tuple[np.ndarray, float]:
+    """Jacobian of the affine map from the reference cube to a box element.
+
+    For an axis-aligned box with edge lengths ``h`` the Jacobian is
+    ``diag(h)/2``; returns ``(J_inv_diag, detJ)`` where ``J_inv_diag`` is
+    the diagonal of the inverse Jacobian.
+    """
+    h = np.asarray(h, dtype=np.float64)
+    det = float(np.prod(h / 2.0))
+    return 2.0 / h, det

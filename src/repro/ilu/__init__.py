@@ -1,0 +1,19 @@
+"""Incomplete LU factorizations (the inexact local solvers of Section V-B.3).
+
+* :mod:`repro.ilu.iluk` -- level-of-fill ILU(k): a symbolic phase
+  computes the fill pattern from the level rule
+  ``lev(i,j) = min(lev(i,k) + lev(k,j) + 1)``, then a numeric IKJ
+  factorization fills the fixed pattern.  The parallel execution model
+  is level-set scheduling (Kokkos-Kernels SpILU/SpTRSV).
+* :mod:`repro.ilu.fastilu` -- the fine-grained *iterative* variant of
+  [Chow & Patel 2015] (Trilinos FastILU): each factor entry is a fixed-
+  point unknown updated by Jacobi sweeps, so a sweep is one massively
+  parallel kernel instead of a dependency-ordered traversal.  Paired
+  with :class:`repro.tri.jacobi.JacobiTriangular` (FastSpTRSV) this is
+  the configuration that wins the paper's solve-time study (Table IV-V).
+"""
+
+from repro.ilu.iluk import IlukFactorization, iluk_symbolic
+from repro.ilu.fastilu import FastIlu
+
+__all__ = ["FastIlu", "IlukFactorization", "iluk_symbolic"]

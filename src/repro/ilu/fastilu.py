@@ -1,0 +1,287 @@
+"""FastILU: fine-grained iterative incomplete factorization.
+
+[Chow & Patel 2015], Trilinos FastILU [Boman et al. 2016].  On the fixed
+ILU(k) pattern ``S``, the factor entries are treated as unknowns of the
+fixed-point equations
+
+``l_ij = (a_ij - sum_{k<j} l_ik u_kj) / u_jj``   for ``i > j``,
+``u_ij =  a_ij - sum_{k<i} l_ik u_kj``           for ``i <= j``,
+
+updated with *Jacobi* sweeps: every entry is recomputed simultaneously
+from the previous iterate.  One sweep costs about the same flops as the
+standard IKJ factorization but is one massively parallel kernel instead
+of a dependency-ordered traversal -- the paper's default is 3 sweeps for
+the factorization (and 5 for the FastSpTRSV solves).
+
+Implementation: the sweep's inner products are a *masked sparse product*
+``(L_strict @ U)`` gathered at ``S``.  The expansion/segment structure
+is precomputed once in the symbolic phase, so every sweep is a handful
+of flat numpy gathers and one segmented reduction -- the numpy analogue
+of the single fused GPU kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ilu.iluk import iluk_symbolic, _scatter_to_pattern
+from repro.machine.kernels import KernelProfile
+from repro.sparse.csr import CsrMatrix
+
+__all__ = ["FastIlu"]
+
+
+class FastIlu:
+    """Iterative ILU(k) on the Chow--Patel fixed-point iteration.
+
+    Parameters
+    ----------
+    level:
+        Fill level of the target pattern.
+    sweeps:
+        Number of Jacobi sweeps of the factorization (paper default 3).
+    ordering:
+        ``"natural"`` or ``"nd"`` symmetric pre-ordering.
+    damping:
+        Under-relaxation of the fixed-point update (one of the paper's
+        Table I FastILU knobs); the undamped synchronous iteration can
+        diverge on stiff elasticity blocks.
+
+    After :meth:`numeric`: ``l`` (strict lower, unit diagonal implicit)
+    and ``u`` (upper with diagonal) hold the approximate factors.
+    """
+
+    def __init__(
+        self,
+        level: int = 0,
+        sweeps: int = 3,
+        ordering: str = "natural",
+        damping: float = 0.7,
+    ) -> None:
+        if sweeps < 0:
+            raise ValueError("sweeps must be non-negative")
+        if not (0.0 < damping <= 1.0):
+            raise ValueError("damping must be in (0, 1]")
+        self.level = int(level)
+        self.sweeps = int(sweeps)
+        self.ordering = ordering
+        self.damping = float(damping)
+        self.perm: Optional[np.ndarray] = None
+        self.l: Optional[CsrMatrix] = None
+        self.u: Optional[CsrMatrix] = None
+        self.symbolic_profile = KernelProfile()
+        self.numeric_profile = KernelProfile()
+        self._symbolic_done = False
+
+    # ------------------------------------------------------------------
+    def symbolic(self, a: CsrMatrix) -> "FastIlu":
+        """Pattern + sweep-expansion precomputation (value independent)."""
+        from repro.ordering import natural, nested_dissection
+        from repro.sparse.blocks import permute
+
+        n = a.n_rows
+        if self.ordering in ("natural", "no", "none"):
+            self.perm = natural(n)
+        elif self.ordering in ("nd", "nested_dissection"):
+            self.perm = nested_dissection(a)
+        else:
+            raise ValueError(f"unknown ordering {self.ordering!r}")
+        ap = permute(a, self.perm)
+        pptr, pind = iluk_symbolic(ap, self.level)
+        self._pptr, self._pind = pptr, pind
+        self.n = n
+
+        rows_all = np.repeat(np.arange(n, dtype=np.int64), np.diff(pptr))
+        self._rows_all = rows_all
+        lower_mask = pind < rows_all
+        self._lower_mask = lower_mask
+
+        # structural L_strict and U CSR skeletons (values filled per sweep)
+        self._l_skel = CsrMatrix.from_coo(
+            rows_all[lower_mask], pind[lower_mask], np.zeros(int(lower_mask.sum())), (n, n)
+        )
+        upper_mask = ~lower_mask
+        self._u_skel = CsrMatrix.from_coo(
+            rows_all[upper_mask], pind[upper_mask], np.zeros(int(upper_mask.sum())), (n, n)
+        )
+        # diagonal position within U data per row
+        diag_pos = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            lo = self._u_skel.indptr[i]
+            if (
+                lo == self._u_skel.indptr[i + 1]
+                or self._u_skel.indices[lo] != i
+            ):
+                raise ValueError(f"pattern misses the diagonal in row {i}")
+            diag_pos[i] = lo
+        self._diag_pos = diag_pos
+
+        # ---- expansion structure of L_strict @ U ----
+        from repro.sparse.spgemm import _concat_ranges
+
+        ls, us = self._l_skel, self._u_skel
+        l_rows = np.repeat(np.arange(n, dtype=np.int64), ls.row_nnz())
+        mid = ls.indices  # k index of each L entry
+        seg_start = us.indptr[mid]
+        seg_len = us.indptr[mid + 1] - us.indptr[mid]
+        gather_u = _concat_ranges(seg_start, seg_len)
+        gather_l = np.repeat(np.arange(ls.nnz, dtype=np.int64), seg_len)
+        prod_rows = np.repeat(l_rows, seg_len)
+        prod_cols = us.indices[gather_u]
+        # sort by (row, col) to form segments
+        key = prod_rows * np.int64(n) + prod_cols
+        order = np.argsort(key, kind="stable")
+        self._gather_l = gather_l[order]
+        self._gather_u = gather_u[order]
+        key = key[order]
+        first = np.ones(key.size, dtype=bool)
+        if key.size:
+            first[1:] = key[1:] != key[:-1]
+        starts = np.flatnonzero(first)
+        self._seg_starts = starts
+        seg_keys = key[starts] if key.size else np.empty(0, np.int64)
+
+        # map segments -> pattern entry ids (S position), -1 if outside S
+        pat_key = rows_all * np.int64(n) + pind
+        # pat_key is sorted (CSR with sorted rows)
+        pos = np.searchsorted(pat_key, seg_keys)
+        ok = (pos < pat_key.size) & (pat_key[np.minimum(pos, pat_key.size - 1)] == seg_keys)
+        self._seg_entry = np.where(ok, pos, -1)
+        # true fused-kernel work: only products landing inside S count (a
+        # real FastILU sweep walks the L-row/U-column intersections; the
+        # full expansion above is a numpy vectorization convenience)
+        seg_len = np.diff(np.append(starts, key.size)) if key.size else np.empty(0, np.int64)
+        self._masked_pairs = int(seg_len[self._seg_entry >= 0].sum()) if key.size else 0
+
+        self.symbolic_profile = KernelProfile()
+        self.symbolic_profile.add(
+            "symbolic.fastilu_pattern",
+            flops=0.0,
+            bytes=float(pind.size * 24 + self._gather_l.size * 16),
+        )
+        self._symbolic_done = True
+        return self
+
+    # ------------------------------------------------------------------
+    def numeric(self, a: CsrMatrix) -> "FastIlu":
+        """Run the configured number of Jacobi sweeps from the standard
+        initial guess ``L0 = strict_lower(A) D^{-1}``, ``U0 = upper(A)``."""
+        if not self._symbolic_done:
+            raise RuntimeError("call symbolic() before numeric()")
+        from repro.sparse.blocks import permute
+
+        ap = permute(a, self.perm)
+        n = self.n
+        pptr, pind = self._pptr, self._pind
+        a_vals = _scatter_to_pattern(ap, pptr, pind)
+
+        # symmetric diagonal scaling to unit diagonal (Chow & Patel):
+        # the fixed-point iteration is only locally convergent, and
+        # scaling keeps the initial guess inside its basin for stiff
+        # (elasticity) blocks.  Factors L,U approximate S A S; callers
+        # must wrap solves as A^{-1} ~ S (L U)^{-1} S with S = diag(s).
+        diag = np.ones(n)
+        rows_for_diag = np.repeat(np.arange(n, dtype=np.int64), np.diff(pptr))
+        on_diag = rows_for_diag == pind
+        diag[rows_for_diag[on_diag]] = a_vals[on_diag]
+        if np.any(diag <= 0):
+            # indefinite/unscalable diagonal: fall back to no scaling
+            self.row_scale = np.ones(n)
+        else:
+            self.row_scale = 1.0 / np.sqrt(diag)
+        a_vals = a_vals * self.row_scale[rows_for_diag] * self.row_scale[pind]
+        lower_mask = self._lower_mask
+        a_l = a_vals[lower_mask]
+        a_u = a_vals[~lower_mask]
+
+        l_cols = self._l_skel.indices  # column j of each L entry
+        l_vals = a_l.copy()
+        u_vals = a_u.copy()
+        # initial guess: scale L columns by the diagonal of A
+        diag_a = u_vals[self._diag_pos]
+        if np.any(diag_a == 0):
+            raise ZeroDivisionError("zero diagonal in FastILU initial guess")
+        l_vals = l_vals / diag_a[l_cols]
+
+        n_seg = self._seg_starts.size
+        for _ in range(self.sweeps):
+            prods = l_vals[self._gather_l] * u_vals[self._gather_u]
+            sums = np.add.reduceat(prods, self._seg_starts) if n_seg else np.empty(0)
+            # scatter segment sums to S entries
+            c = np.zeros(pind.size, dtype=np.float64)
+            keep = self._seg_entry >= 0
+            c[self._seg_entry[keep]] = sums[keep]
+            c_l = c[lower_mask]
+            c_u = c[~lower_mask]
+            u_diag = u_vals[self._diag_pos]
+            if np.any(u_diag == 0):
+                raise ZeroDivisionError("zero pivot during FastILU sweep")
+            # damped Jacobi update from the *previous* iterate; the
+            # undamped synchronous iteration can diverge on stiff
+            # elasticity blocks (the asynchronous GPU implementation
+            # behaves between Jacobi and Gauss-Seidel; damping is the
+            # FastILU knob listed in the paper's Table I)
+            # L: subtract the k=j term (included in the masked product)
+            new_l = (a_l - (c_l - l_vals * u_diag[l_cols])) / u_diag[l_cols]
+            new_u = a_u - c_u
+            w = self.damping
+            l_vals = (1.0 - w) * l_vals + w * new_l
+            u_vals = (1.0 - w) * u_vals + w * new_u
+
+        self.l = CsrMatrix(
+            self._l_skel.indptr, self._l_skel.indices, l_vals, (n, n)
+        )
+        self.u = CsrMatrix(
+            self._u_skel.indptr, self._u_skel.indices, u_vals, (n, n)
+        )
+
+        self.numeric_profile = KernelProfile()
+        work = float(2 * self._masked_pairs + 4 * pind.size)
+        for _ in range(max(self.sweeps, 1)):
+            # flop-dominated fused kernel: the intersection gathers hit
+            # cache (each L/U value is reused across many dot products),
+            # so memory traffic is a few passes over the pattern
+            self.numeric_profile.add(
+                "factor.fastilu_sweep",
+                flops=work,
+                bytes=float(self._masked_pairs * 4 + pind.size * 48),
+                parallelism=float(pind.size),
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    def residual_norm(self, a: CsrMatrix) -> float:
+        """Frobenius norm of ``(A - L U)`` restricted to the pattern.
+
+        The convergence functional of the Chow--Patel iteration; used by
+        the tests to verify sweeps improve the factorization.
+        """
+        from repro.sparse.blocks import permute
+
+        ap = permute(a, self.perm)
+        a_vals = _scatter_to_pattern(ap, self._pptr, self._pind)
+        rows_all = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(self._pptr)
+        )
+        a_vals = a_vals * self.row_scale[rows_all] * self.row_scale[self._pind]
+        prods = self.l.data[self._gather_l] * self.u.data[self._gather_u]
+        sums = (
+            np.add.reduceat(prods, self._seg_starts)
+            if self._seg_starts.size
+            else np.empty(0)
+        )
+        c = np.zeros(self._pind.size, dtype=np.float64)
+        keep = self._seg_entry >= 0
+        c[self._seg_entry[keep]] = sums[keep]
+        # (LU)_ij on the pattern: lower entries need the unit-diagonal
+        # contribution l_ij * 1 ... wait: L here is strict; LU = (I+L)U
+        lu = c.copy()
+        lower_mask = self._lower_mask
+        # add the I*U term: for entry (i,j) with i<=j it's u_ij itself;
+        # for i>j the U row i contributes u_ij only when j>=i (never).
+        upper_mask = ~lower_mask
+        # map each upper pattern entry to its U value
+        lu[upper_mask] += self.u.data
+        return float(np.linalg.norm(a_vals - lu))

@@ -1,0 +1,42 @@
+"""Krylov solvers (the Belos layer of the paper's stack).
+
+The paper's experiments use the *single-reduce* GMRES variant
+[Swirydowicz et al. 2021] with restart length 30 and a relative residual
+tolerance of 1e-7 (Section VII).  This package implements restarted
+GMRES with three orthogonalization strategies that differ in the number
+of global reductions per iteration -- the quantity that dominates
+strong-scaled Krylov performance:
+
+=================  ==========================  ====================
+variant            orthogonalization           global reduces/iter
+=================  ==========================  ====================
+``"mgs"``          modified Gram-Schmidt       ``j + 2``
+``"cgs"``          classical Gram-Schmidt      2
+``"single_reduce"``  CGS with lagged            1
+                   normalization
+=================  ==========================  ====================
+
+A preconditioned CG and the *pipelined* CG of Ghysels & Vanroose (one
+overlappable reduction per iteration, with residual replacement) cover
+the SPD side of Table I's Krylov menu.
+
+Reductions are routed through a pluggable reducer
+(:class:`repro.krylov.reduce.ReduceCounter` by default) so the simulated
+runtime can count and price them; a preconditioned CG is included for
+the SPD ablations.
+"""
+
+from repro.krylov.gmres import gmres, GmresResult
+from repro.krylov.cg import cg, CgResult
+from repro.krylov.pipelined import pipelined_cg, PipelinedCgResult
+from repro.krylov.reduce import ReduceCounter
+
+__all__ = [
+    "CgResult",
+    "GmresResult",
+    "PipelinedCgResult",
+    "ReduceCounter",
+    "cg",
+    "gmres",
+    "pipelined_cg",
+]

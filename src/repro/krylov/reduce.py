@@ -1,0 +1,43 @@
+"""Global-reduction accounting.
+
+In a distributed Krylov solver every inner product is an
+``MPI_Allreduce``; at scale those synchronizations dominate, which is
+why the paper adopts the single-reduce GMRES.  Since the reproduction
+executes numerics on the assembled global problem, the reducer is a
+pass-through that *counts* reductions and payload bytes; the runtime
+layer prices them with the alpha-beta model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReduceCounter"]
+
+
+class ReduceCounter:
+    """Counts global reductions and their payloads.
+
+    Attributes
+    ----------
+    count:
+        Number of allreduce operations issued.
+    doubles:
+        Total number of float64 values reduced.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.doubles = 0
+
+    def allreduce(self, values: np.ndarray) -> np.ndarray:
+        """Record one global reduction of ``values`` (returned unchanged)."""
+        values = np.atleast_1d(np.asarray(values))
+        self.count += 1
+        self.doubles += int(values.size)
+        return values
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.count = 0
+        self.doubles = 0

@@ -1,0 +1,44 @@
+"""Machine performance model (the Summit-node substitute).
+
+The paper's experiments run on Summit nodes (42 Power9 cores + 6 V100
+GPUs, NVIDIA MPS).  This environment has no GPUs, so -- per the
+substitution policy in DESIGN.md -- the hardware is replaced by an
+analytic cost model with the three effects every conclusion of the paper
+rests on:
+
+1. **Roofline pricing**: each kernel is characterized by flop and byte
+   counts; execution time on a space is
+   ``max(flops / flop_rate, bytes / bandwidth)`` -- sparse kernels are
+   bandwidth bound, dense frontal kernels compute bound.
+2. **Critical path / launch overhead**: GPU kernels pay a fixed launch
+   latency, so level-set triangular solves with thousands of tiny levels
+   are launch-bound; supernodal blocking reduces the launch count
+   (Section V-B.2).
+3. **Occupancy**: a GPU only reaches peak throughput when a kernel
+   carries enough parallel work; a kernel's ``parallelism`` scales its
+   achievable rate.  MPS gives each of ``k`` ranks ``1/k`` of the GPU,
+   which both shrinks the saturation requirement and the peak rate
+   (Section VI).
+
+The numeric kernels in :mod:`repro.direct`, :mod:`repro.tri`,
+:mod:`repro.ilu` and :mod:`repro.dd` compute *real* results and expose
+:class:`~repro.machine.kernels.Kernel` descriptors; the model prices
+those descriptors in "model seconds".
+"""
+
+from repro.machine.kernels import Kernel, KernelProfile
+from repro.machine.spec import CpuSpec, GpuSpec, MachineSpec, summit
+from repro.machine.model import ExecutionSpace, CpuSpace, GpuSpace, price
+
+__all__ = [
+    "CpuSpace",
+    "CpuSpec",
+    "ExecutionSpace",
+    "GpuSpace",
+    "GpuSpec",
+    "Kernel",
+    "KernelProfile",
+    "MachineSpec",
+    "price",
+    "summit",
+]

@@ -1,0 +1,130 @@
+"""Kernel descriptors: the interface between numerics and the cost model.
+
+A :class:`Kernel` characterizes one device kernel launch (or one
+sequential CPU routine) by its floating-point work, memory traffic, and
+available parallelism.  Solvers build :class:`KernelProfile` lists once
+per symbolic/numeric structure; the execution spaces in
+:mod:`repro.machine.model` turn them into model seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List
+
+__all__ = ["Kernel", "KernelProfile"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One priced unit of work.
+
+    Parameters
+    ----------
+    name:
+        Kernel family, e.g. ``"sptrsv.level"``, ``"getrf.front"``; used
+        for breakdown reporting (Fig. 4).
+    flops:
+        Floating-point operations performed.
+    bytes:
+        Bytes moved to/from memory (load + store).
+    parallelism:
+        Number of independent work items (rows, supernodes, nnz) that a
+        parallel space can spread over its lanes.  ``1`` means strictly
+        sequential.
+    launches:
+        Number of device kernel launches this unit corresponds to
+        (level-set solvers batch one launch per level).
+    """
+
+    name: str
+    flops: float
+    bytes: float
+    parallelism: float = 1.0
+    launches: int = 1
+
+    def scaled(self, factor: float) -> "Kernel":
+        """Scale memory traffic by ``factor`` (the half-precision
+        operator halves the bytes of every kernel)."""
+        return Kernel(
+            self.name, self.flops, self.bytes * factor, self.parallelism, self.launches
+        )
+
+    def work_scaled(self, factor: float) -> "Kernel":
+        """Scale both flops and bytes by ``factor`` (used to spread a
+        shared task, e.g. a distributed coarse solve, across ranks)."""
+        return Kernel(
+            self.name,
+            self.flops * factor,
+            self.bytes * factor,
+            self.parallelism,
+            self.launches,
+        )
+
+
+class KernelProfile:
+    """An ordered collection of kernels representing one operation.
+
+    Kernels execute sequentially (each may be internally parallel); the
+    profile's cost on a space is the sum of its kernels' costs.
+    """
+
+    __slots__ = ("kernels",)
+
+    def __init__(self, kernels: Iterable[Kernel] = ()) -> None:
+        self.kernels: List[Kernel] = list(kernels)
+
+    def add(
+        self,
+        name: str,
+        flops: float,
+        bytes: float,
+        parallelism: float = 1.0,
+        launches: int = 1,
+    ) -> None:
+        """Append one kernel."""
+        self.kernels.append(Kernel(name, flops, bytes, parallelism, launches))
+
+    def extend(self, other: "KernelProfile") -> None:
+        """Append all kernels of another profile."""
+        self.kernels.extend(other.kernels)
+
+    def __iter__(self) -> Iterator[Kernel]:
+        return iter(self.kernels)
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def total_flops(self) -> float:
+        """Sum of kernel flops."""
+        return sum(k.flops for k in self.kernels)
+
+    @property
+    def total_bytes(self) -> float:
+        """Sum of kernel bytes."""
+        return sum(k.bytes for k in self.kernels)
+
+    @property
+    def total_launches(self) -> int:
+        """Sum of kernel launch counts (GPU critical-path length)."""
+        return sum(k.launches for k in self.kernels)
+
+    def by_family(self) -> Dict[str, "KernelProfile"]:
+        """Group kernels by the prefix before the first dot.
+
+        Drives the setup-time breakdown of Fig. 4.
+        """
+        groups: Dict[str, KernelProfile] = {}
+        for k in self.kernels:
+            family = k.name.split(".", 1)[0]
+            groups.setdefault(family, KernelProfile()).kernels.append(k)
+        return groups
+
+    def scaled_bytes(self, factor: float) -> "KernelProfile":
+        """Profile with all byte counts scaled (precision conversion)."""
+        return KernelProfile(k.scaled(factor) for k in self.kernels)
+
+    def work_scaled(self, factor: float) -> "KernelProfile":
+        """Profile with flops and bytes scaled (shared-task spreading)."""
+        return KernelProfile(k.work_scaled(factor) for k in self.kernels)

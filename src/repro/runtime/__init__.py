@@ -1,0 +1,47 @@
+"""Simulated distributed runtime (the MPI + Summit-node substitute).
+
+The reproduction executes numerics sequentially over per-rank subdomain
+objects, so the distributed-memory behaviour enters through this layer:
+
+* :mod:`repro.runtime.layout` -- job layouts: how many nodes, ranks per
+  node, and -- for GPU runs -- MPI ranks per GPU under MPS (the paper's
+  Section VI decomposition strategy, Fig. 3);
+* :mod:`repro.runtime.pricing` -- turns per-rank
+  :class:`~repro.machine.kernels.KernelProfile` objects into model
+  seconds, routing kernel families to the right execution space
+  (SuperLU numeric factorization stays on the CPU even in GPU runs;
+  ``comm.*`` kernels are priced with the alpha-beta model) and charging
+  allreduce latencies that grow logarithmically with the rank count;
+* :mod:`repro.runtime.timings` -- assembles whole-solver phase timings
+  (numerical setup / solve) from a preconditioner, a Krylov result and
+  a layout: the quantities tabulated in the paper's Tables II-VII;
+* :mod:`repro.runtime.simmpi` / :mod:`repro.runtime.distributed` -- a
+  message-faithful sequential MPI simulator and a rank-local execution
+  of the whole solver (halo exchanges, allreduces, replicated coarse
+  solves), used to validate the sequential-numerics shortcut.
+"""
+
+from repro.runtime.layout import JobLayout
+from repro.runtime.pricing import price_profile, reduce_seconds, halo_seconds
+from repro.runtime.timings import SolverTimings, time_solver
+from repro.runtime.simmpi import SimComm
+from repro.runtime.distributed import (
+    DistributedCsr,
+    DistributedVector,
+    distributed_cg,
+    make_distributed_gdsw_apply,
+)
+
+__all__ = [
+    "DistributedCsr",
+    "DistributedVector",
+    "JobLayout",
+    "SimComm",
+    "distributed_cg",
+    "make_distributed_gdsw_apply",
+    "SolverTimings",
+    "halo_seconds",
+    "price_profile",
+    "reduce_seconds",
+    "time_solver",
+]

@@ -1,0 +1,101 @@
+"""Job layouts: ranks, nodes, and the MPS rank-to-GPU mapping.
+
+The scaled-down "model Summit node" used by the benchmark harness has
+``cores_per_node`` CPU cores and ``gpus_per_node`` GPUs (defaults 8 and
+2; the real machine's 42/6 behaves identically in shape but would need
+hundreds of Python-side subdomain factorizations per data point).  A
+CPU run places one rank per core; a GPU run places
+``ranks_per_gpu * gpus_per_node`` ranks per node, sharing each GPU via
+MPS exactly as in Section VI of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.machine.model import CpuSpace, ExecutionSpace, GpuSpace
+from repro.machine.spec import MachineSpec, summit
+
+__all__ = ["JobLayout"]
+
+
+@dataclass(frozen=True)
+class JobLayout:
+    """Placement of MPI ranks on a cluster of heterogeneous nodes.
+
+    Attributes
+    ----------
+    nodes:
+        Number of compute nodes.
+    ranks_per_node:
+        MPI ranks launched on each node.
+    use_gpu:
+        True when solver kernels run on the GPUs.
+    ranks_per_gpu:
+        MPS sharing factor for GPU runs (``n_p/gpu`` in Tables II/III).
+    threads_per_rank:
+        CPU threads each rank drives (Fig. 5's 6-rank CPU runs use
+        ``cores_per_node / ranks_per_node`` threads via threaded BLAS).
+    machine:
+        Hardware spec; defaults to the scaled Summit-like node.
+    """
+
+    nodes: int
+    ranks_per_node: int
+    use_gpu: bool = False
+    ranks_per_gpu: int = 1
+    threads_per_rank: int = 1
+    machine: MachineSpec = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.machine is None:
+            object.__setattr__(self, "machine", summit())
+        if self.nodes < 1 or self.ranks_per_node < 1:
+            raise ValueError("nodes and ranks_per_node must be positive")
+        if self.use_gpu:
+            expected = self.ranks_per_gpu * self.machine.gpus_per_node
+            if self.ranks_per_node != expected:
+                raise ValueError(
+                    f"GPU layout needs ranks_per_node == ranks_per_gpu * "
+                    f"gpus_per_node ({expected}), got {self.ranks_per_node}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        """Total MPI ranks (= subdomains; one subdomain per rank)."""
+        return self.nodes * self.ranks_per_node
+
+    def compute_space(self) -> ExecutionSpace:
+        """The execution space of one rank's solver kernels."""
+        if self.use_gpu:
+            return GpuSpace(self.machine.gpu, share=1.0 / self.ranks_per_gpu)
+        return CpuSpace(self.machine.cpu, threads=self.threads_per_rank)
+
+    def cpu_space(self) -> ExecutionSpace:
+        """The host CPU space of one rank (for CPU-only kernel families)."""
+        return CpuSpace(self.machine.cpu, threads=self.threads_per_rank)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def cpu_run(cls, nodes: int, machine: Optional[MachineSpec] = None, ranks_per_node: Optional[int] = None) -> "JobLayout":
+        """The paper's CPU baseline: one rank per core."""
+        m = machine or summit()
+        rpn = m.cores_per_node if ranks_per_node is None else ranks_per_node
+        threads = max(1, m.cores_per_node // rpn)
+        return cls(nodes, rpn, use_gpu=False, threads_per_rank=threads, machine=m)
+
+    @classmethod
+    def gpu_run(
+        cls, nodes: int, ranks_per_gpu: int, machine: Optional[MachineSpec] = None
+    ) -> "JobLayout":
+        """A GPU run with ``ranks_per_gpu`` MPI ranks per GPU via MPS."""
+        m = machine or summit()
+        return cls(
+            nodes,
+            ranks_per_gpu * m.gpus_per_node,
+            use_gpu=True,
+            ranks_per_gpu=ranks_per_gpu,
+            machine=m,
+        )

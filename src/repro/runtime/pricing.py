@@ -1,0 +1,105 @@
+"""Pricing kernel profiles under a job layout.
+
+Family routing implements the paper's hardware realities:
+
+* ``factor.superlu*`` and all ``symbolic.*`` kernels execute on the host
+  CPU even in GPU runs (SuperLU is CPU-only; symbolic analysis is
+  sequential -- Section V-A.1);
+* ``setup.*`` kernels (triangular-solver setup: supernode detection,
+  level scheduling, block assembly and device upload) are host-side
+  multi-pass traversals of the factor, also CPU-priced;
+* ``comm.*`` kernels are messages, priced with the alpha-beta model;
+* every other family runs on the layout's compute space (GPU under MPS
+  or CPU cores), scaled by a per-family *GPU efficiency*: irregular
+  kernels like SpGEMM achieve a small fraction of the GPU's sparse-
+  kernel throughput, which is why the non-factorization setup parts run
+  slower with GPUs in Fig. 4 (the "black" bars).
+
+Global reductions cost ``(alpha log2 P + bytes beta)`` each -- the term
+the single-reduce GMRES minimizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.kernels import Kernel, KernelProfile
+from repro.runtime.layout import JobLayout
+
+__all__ = ["price_profile", "price_families", "reduce_seconds", "halo_seconds"]
+
+#: kernel families forced onto the host CPU in GPU runs
+_CPU_ONLY_PREFIXES = ("factor.superlu", "symbolic.", "setup.")
+#: kernel families that are messages rather than compute
+_COMM_PREFIX = "comm."
+#: GPU efficiency relative to the sparse-kernel peak, by name prefix;
+#: first match wins (calibrated -- see DESIGN.md section 5)
+_GPU_EFFICIENCY = (
+    ("coarse.spgemm", 0.05),  # ESC SpGEMM: irregular, transfer-heavy
+    ("coarse.extension_spgemm", 0.05),
+    ("coarse.phi", 0.5),
+    ("apply.restrict_prolong", 0.5),
+)
+
+
+def _gpu_efficiency(name: str) -> float:
+    for prefix, eff in _GPU_EFFICIENCY:
+        if name.startswith(prefix):
+            return eff
+    return 1.0
+
+
+def _kernel_seconds(kernel: Kernel, layout: JobLayout) -> float:
+    name = kernel.name
+    if name.startswith(_COMM_PREFIX):
+        m = layout.machine
+        return m.alpha + kernel.bytes * m.beta
+    if any(name.startswith(p) for p in _CPU_ONLY_PREFIXES):
+        t = layout.cpu_space().kernel_seconds(kernel)
+    else:
+        t = layout.compute_space().kernel_seconds(kernel)
+        if layout.use_gpu:
+            t = t / _gpu_efficiency(name)
+    if name.startswith("coarse."):
+        # scale correction for the oversized coarse fraction of the
+        # laptop-scale problems; see MachineSpec.coarse_scale
+        t *= layout.machine.coarse_scale
+    return t
+
+
+def price_profile(profile: KernelProfile, layout: JobLayout) -> float:
+    """Model seconds for one rank to execute ``profile`` under ``layout``."""
+    return sum(_kernel_seconds(k, layout) for k in profile)
+
+
+def price_families(profile: KernelProfile, layout: JobLayout) -> dict:
+    """Per-family model seconds (Fig. 4's stacked-bar breakdown)."""
+    return {
+        family: price_profile(sub, layout)
+        for family, sub in profile.by_family().items()
+    }
+
+
+def reduce_seconds(layout: JobLayout, count: int, doubles: int) -> float:
+    """Cost of ``count`` allreduces carrying ``doubles`` float64 total.
+
+    Latency scales with ``log2`` of the rank count (tree reduction);
+    bandwidth with the payload.
+    """
+    if count <= 0:
+        return 0.0
+    m = layout.machine
+    hops = max(1.0, math.log2(max(layout.n_ranks, 2)))
+    return count * m.alpha * hops + doubles * 8.0 * m.beta
+
+
+def halo_seconds(layout: JobLayout, doubles: int, neighbors: int = 6) -> float:
+    """Cost of one halo exchange importing ``doubles`` float64 values.
+
+    ``neighbors`` messages (a 3D box has up to 26, but 6 faces carry
+    almost all volume) plus the volume term.
+    """
+    if doubles <= 0:
+        return 0.0
+    m = layout.machine
+    return neighbors * m.alpha + doubles * 8.0 * m.beta

@@ -1,0 +1,113 @@
+"""A simulated MPI communicator (sequential, message-faithful).
+
+The solvers in this package execute their numerics on assembled global
+objects while the *cost* of communication is modeled analytically
+(:mod:`repro.runtime.pricing`).  :class:`SimComm` closes the loop: it is
+a sequential simulator with real message semantics -- typed point-to-
+point sends/receives with (source, destination, tag) matching, and
+collective operations -- so the distributed execution layer in
+:mod:`repro.runtime.distributed` can run the whole solver with strictly
+rank-local data and verify, in tests, that the distributed results and
+the message/reduction counts match what the sequential implementation
+and the cost model assume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["SimComm"]
+
+
+@dataclass
+class SimComm:
+    """Sequential MPI-communicator simulator.
+
+    Messages are queued per ``(source, destination, tag)`` channel;
+    receives pop in FIFO order and raise if no message is pending
+    (the simulator executes ranks in a deterministic order, so a missing
+    message is a protocol bug, the analogue of an MPI deadlock).
+
+    Attributes
+    ----------
+    size:
+        Number of ranks.
+    sends, recvs:
+        Point-to-point operation counters.
+    bytes_sent:
+        Total payload volume (numpy arrays: ``nbytes``; other payloads
+        are counted as 0 -- the solvers only ship arrays).
+    allreduces, reduce_doubles:
+        Collective counters, comparable with
+        :class:`repro.krylov.reduce.ReduceCounter`.
+    """
+
+    size: int
+    sends: int = 0
+    recvs: int = 0
+    bytes_sent: int = 0
+    allreduces: int = 0
+    reduce_doubles: int = 0
+    _queues: Dict[Tuple[int, int, int], Deque[Any]] = field(default_factory=dict)
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any, tag: int = 0) -> None:
+        """Queue a message from ``src`` to ``dst``."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        self._queues.setdefault((src, dst, tag), deque()).append(payload)
+        self.sends += 1
+        if isinstance(payload, np.ndarray):
+            self.bytes_sent += int(payload.nbytes)
+
+    def recv(self, dst: int, src: int, tag: int = 0) -> Any:
+        """Pop the next message from ``src`` to ``dst`` (FIFO per channel)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        q = self._queues.get((src, dst, tag))
+        if not q:
+            raise RuntimeError(
+                f"deadlock: rank {dst} waits for a message from {src} "
+                f"(tag {tag}) that was never sent"
+            )
+        self.recvs += 1
+        return q.popleft()
+
+    def pending(self) -> int:
+        """Number of undelivered messages (should be 0 after a phase)."""
+        return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+    def allreduce(self, contributions: List[np.ndarray]) -> np.ndarray:
+        """Sum one contribution per rank (MPI_Allreduce, op=SUM).
+
+        Every rank must contribute exactly once per call; the summed
+        result is what each rank receives.
+        """
+        if len(contributions) != self.size:
+            raise ValueError(
+                f"allreduce needs one contribution per rank "
+                f"({self.size}), got {len(contributions)}"
+            )
+        arrays = [np.atleast_1d(np.asarray(c, dtype=np.float64)) for c in contributions]
+        out = np.sum(arrays, axis=0)
+        self.allreduces += 1
+        self.reduce_doubles += int(out.size)
+        return out
+
+    def barrier(self) -> None:
+        """A barrier is a no-op in the sequential simulator (but asserts
+        that no messages are left in flight, the common bug a real
+        barrier would expose as a hang)."""
+        if self.pending():
+            raise RuntimeError(
+                f"barrier with {self.pending()} undelivered messages"
+            )

@@ -1,0 +1,52 @@
+"""Sparse-matrix substrate used by every solver in the package.
+
+This subpackage provides from-scratch compressed-sparse-row (CSR) storage
+and the vectorized kernels the domain-decomposition stack is built on:
+sparse matrix--vector products, sparse matrix--matrix products (Gustavson
+style, fully vectorized), sparse addition, submatrix extraction, and the
+graph utilities (BFS, connected components, k-layer neighborhood
+expansion) that the overlap construction and the orderings need.
+
+The design mirrors the Tpetra/Kokkos-Kernels layering of the paper's
+software stack (Fig. 2): distributed objects in :mod:`repro.runtime` are
+built from these on-node kernels.  ``scipy.sparse`` is deliberately *not*
+used by any algorithm here -- it appears only in the test-suite as an
+oracle.
+"""
+
+from repro.sparse.coo import CooMatrix, coalesce
+from repro.sparse.csr import CsrMatrix, eye, diags
+from repro.sparse.spgemm import spgemm
+from repro.sparse.spadd import spadd
+from repro.sparse.blocks import (
+    extract_submatrix,
+    permute,
+    split_2x2,
+)
+from repro.sparse.graph import (
+    adjacency_from_pattern,
+    bfs_levels,
+    connected_components,
+    expand_layers,
+    pseudo_peripheral_node,
+    symmetrize_pattern,
+)
+
+__all__ = [
+    "CooMatrix",
+    "CsrMatrix",
+    "adjacency_from_pattern",
+    "bfs_levels",
+    "coalesce",
+    "connected_components",
+    "diags",
+    "expand_layers",
+    "extract_submatrix",
+    "eye",
+    "permute",
+    "pseudo_peripheral_node",
+    "spadd",
+    "spgemm",
+    "split_2x2",
+    "symmetrize_pattern",
+]

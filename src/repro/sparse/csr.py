@@ -1,0 +1,342 @@
+"""Compressed-sparse-row (CSR) matrices.
+
+The central storage format of the package.  All kernels are vectorized
+numpy; no scipy is used.  The class is deliberately small and explicit --
+the factorizations, triangular solves and Schwarz operators are built on
+top of it rather than hidden inside it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CsrMatrix", "eye", "diags"]
+
+
+class CsrMatrix:
+    """A sparse matrix in compressed-sparse-row format.
+
+    Parameters
+    ----------
+    indptr:
+        ``(n_rows + 1,)`` int64 row-pointer array.
+    indices:
+        ``(nnz,)`` int64 column indices; sorted within each row.
+    data:
+        ``(nnz,)`` value array (float32 or float64).
+    shape:
+        ``(n_rows, n_cols)``.
+
+    Notes
+    -----
+    Rows are kept with sorted column indices; constructors enforce this.
+    The invariant is relied upon by the binary-merge kernels (SpAdd, the
+    ILU symbolic phase) and by :meth:`sorted_index_of`.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "shape")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.indptr.ndim != 1 or self.indptr.size != self.shape[0] + 1:
+            raise ValueError("indptr must have length n_rows + 1")
+        if self.indices.shape != self.data.shape:
+            raise ValueError("indices and data must have identical length")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("inconsistent indptr")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> "CsrMatrix":
+        """Build from triplets, summing duplicates."""
+        from repro.sparse.coo import coalesce
+
+        r, c, v = coalesce(rows, cols, vals, shape)
+        indptr = np.zeros(shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, r + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr, c, v, shape)
+
+    @classmethod
+    def from_dense(cls, a: np.ndarray, tol: float = 0.0) -> "CsrMatrix":
+        """Build from a dense array, dropping entries with ``|a| <= tol``."""
+        a = np.asarray(a)
+        if a.ndim != 2:
+            raise ValueError("expected a 2-D array")
+        mask = np.abs(a) > tol
+        rows, cols = np.nonzero(mask)
+        return cls.from_coo(rows, cols, a[rows, cols], a.shape)
+
+    @classmethod
+    def from_scipy(cls, a) -> "CsrMatrix":
+        """Convert from a ``scipy.sparse`` matrix (test-oracle interop)."""
+        a = a.tocsr()
+        a.sort_indices()
+        a.sum_duplicates()
+        return cls(
+            a.indptr.astype(np.int64),
+            a.indices.astype(np.int64),
+            a.data.copy(),
+            a.shape,
+        )
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (test-oracle interop)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.data.copy(), self.indices.copy(), self.indptr.copy()),
+            shape=self.shape,
+        )
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype."""
+        return self.data.dtype
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns."""
+        return self.shape[1]
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row entry counts."""
+        return np.diff(self.indptr)
+
+    def copy(self) -> "CsrMatrix":
+        """Deep copy."""
+        return CsrMatrix(
+            self.indptr.copy(), self.indices.copy(), self.data.copy(), self.shape
+        )
+
+    def astype(self, dtype) -> "CsrMatrix":
+        """Copy with values cast to ``dtype`` (used by the half-precision path)."""
+        return CsrMatrix(
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.astype(dtype),
+            self.shape,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CsrMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.dtype})"
+        )
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Column indices and values of row ``i`` (views, do not mutate)."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def diagonal(self) -> np.ndarray:
+        """Main-diagonal values (zeros where the diagonal is not stored)."""
+        n = min(self.shape)
+        out = np.zeros(n, dtype=self.dtype)
+        rows = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), self.row_nnz()
+        )
+        mask = rows == self.indices
+        out_rows = rows[mask]
+        sel = out_rows < n
+        out[out_rows[sel]] = self.data[mask][sel]
+        return out
+
+    def todense(self) -> np.ndarray:
+        """Materialize as a dense ndarray."""
+        out = np.zeros(self.shape, dtype=self.dtype)
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
+        out[rows, self.indices] = self.data
+        return out
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Sparse matrix--vector product ``A @ x``.
+
+        Vectorized via a gather followed by a segmented reduction
+        (``np.add.reduceat``), which is the numpy analogue of the
+        row-parallel CSR SpMV kernel.
+        """
+        x = np.asarray(x)
+        prods = self.data * x[self.indices]
+        result_dtype = prods.dtype if prods.size else np.result_type(self.dtype, x.dtype)
+        if out is None:
+            out = np.zeros(self.n_rows, dtype=result_dtype)
+        else:
+            out[:] = 0
+        if self.nnz == 0:
+            return out
+        nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
+        if nonempty.size:
+            out[nonempty] = np.add.reduceat(prods, self.indptr[nonempty])
+        return out
+
+    def matmat(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix--dense matrix product ``A @ X`` for 2-D ``X``."""
+        x = np.asarray(x)
+        if x.ndim == 1:
+            return self.matvec(x)
+        prods = self.data[:, None] * x[self.indices, :]
+        out = np.zeros((self.n_rows, x.shape[1]), dtype=prods.dtype)
+        nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
+        if nonempty.size:
+            out[nonempty] = np.add.reduceat(prods, self.indptr[nonempty], axis=0)
+        return out
+
+    def __matmul__(self, other):
+        if isinstance(other, CsrMatrix):
+            from repro.sparse.spgemm import spgemm
+
+            return spgemm(self, other)
+        return self.matmat(other)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """Transpose product ``A.T @ y`` without forming the transpose."""
+        y = np.asarray(y)
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
+        out = np.zeros(self.n_cols, dtype=np.result_type(self.dtype, y.dtype))
+        np.add.at(out, self.indices, self.data * y[rows])
+        return out
+
+    def transpose(self) -> "CsrMatrix":
+        """Explicit transpose (counting-sort based, O(nnz))."""
+        n_rows, n_cols = self.shape
+        indptr_t = np.zeros(n_cols + 1, dtype=np.int64)
+        np.add.at(indptr_t, self.indices + 1, 1)
+        np.cumsum(indptr_t, out=indptr_t)
+        rows = np.repeat(np.arange(n_rows, dtype=np.int64), self.row_nnz())
+        order = np.argsort(self.indices, kind="stable")
+        return CsrMatrix(indptr_t, rows[order], self.data[order], (n_cols, n_rows))
+
+    @property
+    def T(self) -> "CsrMatrix":
+        """Alias for :meth:`transpose`."""
+        return self.transpose()
+
+    def scale_rows(self, d: np.ndarray) -> "CsrMatrix":
+        """Return ``diag(d) @ A``."""
+        d = np.asarray(d)
+        if d.size != self.n_rows:
+            raise ValueError("scaling vector length mismatch")
+        data = self.data * np.repeat(d, self.row_nnz())
+        return CsrMatrix(self.indptr.copy(), self.indices.copy(), data, self.shape)
+
+    def scale_cols(self, d: np.ndarray) -> "CsrMatrix":
+        """Return ``A @ diag(d)``."""
+        d = np.asarray(d)
+        if d.size != self.n_cols:
+            raise ValueError("scaling vector length mismatch")
+        return CsrMatrix(
+            self.indptr.copy(), self.indices.copy(), self.data * d[self.indices], self.shape
+        )
+
+    def __mul__(self, alpha: float) -> "CsrMatrix":
+        return CsrMatrix(
+            self.indptr.copy(), self.indices.copy(), self.data * alpha, self.shape
+        )
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: "CsrMatrix") -> "CsrMatrix":
+        from repro.sparse.spadd import spadd
+
+        return spadd(self, other)
+
+    def __sub__(self, other: "CsrMatrix") -> "CsrMatrix":
+        from repro.sparse.spadd import spadd
+
+        return spadd(self, other, beta=-1.0)
+
+    # ------------------------------------------------------------------
+    # structure utilities
+    # ------------------------------------------------------------------
+    def eliminate_zeros(self, tol: float = 0.0) -> "CsrMatrix":
+        """Drop stored entries with ``|a_ij| <= tol``."""
+        keep = np.abs(self.data) > tol
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
+        indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        np.add.at(indptr, rows[keep] + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CsrMatrix(indptr, self.indices[keep], self.data[keep], self.shape)
+
+    def pattern(self) -> "CsrMatrix":
+        """Structure-only copy with all stored values set to one."""
+        return CsrMatrix(
+            self.indptr.copy(),
+            self.indices.copy(),
+            np.ones(self.nnz, dtype=self.dtype),
+            self.shape,
+        )
+
+    def is_sorted(self) -> bool:
+        """True when every row's column indices are strictly increasing."""
+        if self.nnz < 2:
+            return True
+        d = np.diff(self.indices)
+        row_start = self.indptr[1:-1]
+        interior = np.ones(self.nnz - 1, dtype=bool)
+        interior[row_start[(row_start > 0) & (row_start < self.nnz)] - 1] = False
+        return bool(np.all(d[interior] > 0))
+
+    def norm_fro(self) -> float:
+        """Frobenius norm of the stored values."""
+        return float(np.sqrt(np.sum(np.abs(self.data) ** 2)))
+
+    def bandwidth(self) -> int:
+        """Maximum ``|i - j|`` over stored entries (0 for empty matrices)."""
+        if self.nnz == 0:
+            return 0
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
+        return int(np.max(np.abs(rows - self.indices)))
+
+
+def eye(n: int, dtype=np.float64) -> CsrMatrix:
+    """The n-by-n identity in CSR form."""
+    idx = np.arange(n, dtype=np.int64)
+    return CsrMatrix(
+        np.arange(n + 1, dtype=np.int64), idx, np.ones(n, dtype=dtype), (n, n)
+    )
+
+
+def diags(d: np.ndarray) -> CsrMatrix:
+    """A diagonal matrix from a vector (zeros are kept as stored entries)."""
+    d = np.asarray(d)
+    n = d.size
+    idx = np.arange(n, dtype=np.int64)
+    return CsrMatrix(np.arange(n + 1, dtype=np.int64), idx, d.copy(), (n, n))

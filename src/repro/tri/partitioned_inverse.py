@@ -1,0 +1,104 @@
+"""Partitioned-inverse triangular solve.
+
+[Alvarado, Pothen, Schreiber 1993]: a triangular factor can be written
+as a product of level factors ``L = L_0 L_1 ... L_{k-1}`` where each
+``L_l`` is the identity except for the rows of level ``l``.  Each level
+factor inverts in closed form (its strict part connects only to earlier
+levels, so it is nilpotent of index 2):
+
+``x = L^{-1} b = M_{k-1} ... M_1 M_0 b``
+
+with ``M_l`` the explicit sparse inverse of ``L_l``.  The solve becomes
+a sequence of SpMVs, each carrying *full-vector* parallelism -- more
+parallel than substitution at the cost of ``n_levels`` full-vector
+passes.  This is the Kokkos-Kernels ``partitioned inverse`` option
+mentioned in Section V-B.2 (the paper's runs do not enable it; we
+include it for the ablation benches).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.machine.kernels import KernelProfile
+from repro.sparse.csr import CsrMatrix
+from repro.tri.levelset import level_schedule
+
+__all__ = ["PartitionedInverseTriangular"]
+
+
+class PartitionedInverseTriangular:
+    """Triangular solver that applies explicit per-level inverses.
+
+    Parameters
+    ----------
+    t:
+        Square triangular CSR matrix with explicit diagonal (unless
+        ``unit_diagonal``).
+    lower:
+        Orientation.
+    unit_diagonal:
+        Implicit unit diagonal.
+    """
+
+    def __init__(
+        self, t: CsrMatrix, lower: bool = True, unit_diagonal: bool = False
+    ) -> None:
+        if t.n_rows != t.n_cols:
+            raise ValueError("square matrix required")
+        n = t.n_rows
+        self.shape = t.shape
+        self.lower = lower
+        level = level_schedule(t, lower=lower)
+        self.n_levels = int(level.max()) + 1 if n else 0
+
+        diag = np.ones(n, dtype=t.dtype)
+        if not unit_diagonal:
+            diag = t.diagonal()
+            if np.any(diag == 0):
+                raise ZeroDivisionError("zero on the diagonal")
+
+        all_rows = np.repeat(np.arange(n, dtype=np.int64), t.row_nnz())
+        strict = t.indices < all_rows if lower else t.indices > all_rows
+        s_rows, s_cols, s_vals = (
+            all_rows[strict],
+            t.indices[strict],
+            t.data[strict],
+        )
+        ent_level = level[s_rows]
+
+        self.factors: List[CsrMatrix] = []
+        eye_rows = np.arange(n, dtype=np.int64)
+        for lv in range(self.n_levels):
+            in_level = level == lv
+            sel = ent_level == lv
+            # M_l: identity on rows outside the level; on level rows,
+            # diagonal 1/d_r and off-diagonals -t_rc / d_r.
+            diag_vals = np.where(in_level, 1.0 / diag, 1.0)
+            rows = np.concatenate([eye_rows, s_rows[sel]])
+            cols = np.concatenate([eye_rows, s_cols[sel]])
+            vals = np.concatenate(
+                [diag_vals, -s_vals[sel] / diag[s_rows[sel]]]
+            )
+            self.factors.append(CsrMatrix.from_coo(rows, cols, vals, (n, n)))
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``T x = b`` via the SpMV sequence (exact)."""
+        x = np.asarray(b, dtype=np.float64)
+        for m in self.factors:
+            x = m.matmat(x) if x.ndim == 2 else m.matvec(x)
+        return x
+
+    def kernel_profile(self) -> KernelProfile:
+        """One SpMV kernel per level, each with full-vector parallelism."""
+        prof = KernelProfile()
+        for m in self.factors:
+            prof.add(
+                "sptrsv.partitioned_inverse_spmv",
+                flops=2.0 * m.nnz,
+                bytes=m.nnz * 16.0 + m.n_rows * 24.0,
+                parallelism=float(m.n_rows),
+            )
+        return prof

@@ -1,0 +1,57 @@
+"""Sequential substitution triangular solves.
+
+Reference row-by-row forward/backward substitution.  This is the
+numerically exact baseline (SuperLU's internal CPU solver in the paper);
+the level-set solvers in :mod:`repro.tri.levelset` compute bit-identical
+results with a parallel schedule, so these loops are used mainly by the
+test-suite and for very small systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CsrMatrix
+
+__all__ = ["solve_lower", "solve_upper"]
+
+
+def solve_lower(
+    l: CsrMatrix, b: np.ndarray, unit_diagonal: bool = False
+) -> np.ndarray:
+    """Solve ``L x = b`` for lower-triangular ``L`` (CSR, sorted rows)."""
+    n = l.n_rows
+    x = np.array(b, dtype=np.result_type(l.dtype, b.dtype), copy=True)
+    indptr, indices, data = l.indptr, l.indices, l.data
+    for i in range(n):
+        lo, hi = indptr[i], indptr[i + 1]
+        cols = indices[lo:hi]
+        vals = data[lo:hi]
+        if unit_diagonal:
+            x[i] -= vals @ x[cols]
+        else:
+            # sorted row: diagonal is the last stored entry at/below i
+            if hi == lo or cols[-1] != i:
+                raise ZeroDivisionError(f"missing diagonal in row {i}")
+            x[i] = (x[i] - vals[:-1] @ x[cols[:-1]]) / vals[-1]
+    return x
+
+
+def solve_upper(
+    u: CsrMatrix, b: np.ndarray, unit_diagonal: bool = False
+) -> np.ndarray:
+    """Solve ``U x = b`` for upper-triangular ``U`` (CSR, sorted rows)."""
+    n = u.n_rows
+    x = np.array(b, dtype=np.result_type(u.dtype, b.dtype), copy=True)
+    indptr, indices, data = u.indptr, u.indices, u.data
+    for i in range(n - 1, -1, -1):
+        lo, hi = indptr[i], indptr[i + 1]
+        cols = indices[lo:hi]
+        vals = data[lo:hi]
+        if unit_diagonal:
+            x[i] -= vals @ x[cols]
+        else:
+            if hi == lo or cols[0] != i:
+                raise ZeroDivisionError(f"missing diagonal in row {i}")
+            x[i] = (x[i] - vals[1:] @ x[cols[1:]]) / vals[0]
+    return x

@@ -1,0 +1,55 @@
+"""Smoke tests of the experiment generators (trimmed sizes).
+
+The full generators run under ``pytest benchmarks/``; here the cheapest
+one (Fig. 4: one node, four configurations) is executed end-to-end so
+the generator code path is covered by ``pytest tests/`` too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments
+from repro.bench.harness import clear_cache
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.mark.slow
+def test_fig4_generator_end_to_end(capsys):
+    data = experiments.fig4_setup_breakdown()
+    out = capsys.readouterr().out
+    assert "Fig. 4" in out
+    br = data["breakdowns"]
+    assert set(br) == {
+        "superlu/cpu", "superlu/gpu", "tacho/cpu", "tacho/gpu"
+    }
+    for d in br.values():
+        assert all(v >= 0 for v in d.values())
+        assert sum(d.values()) > 0
+    # the structural claims the benchmark target also asserts
+    assert br["superlu/gpu"].get("setup", 0.0) > 0.0
+    assert br["tacho/gpu"]["factor"] < br["tacho/cpu"]["factor"]
+
+
+def test_weak_nodes_env_parsing(monkeypatch):
+    # WEAK_NODES is read at import; verify the parse helper contract
+    assert all(isinstance(n, int) for n in experiments.WEAK_NODES)
+    assert experiments.MPS_FACTORS == (1, 2, 4)
+
+
+def test_rank_grid_matches_layouts():
+    from repro.bench import model_machine, rank_grid
+    from repro.runtime import JobLayout
+
+    m = model_machine()
+    for nodes in (1, 2, 4, 8):
+        for k in (1, 2, 4):
+            lay = JobLayout.gpu_run(nodes, k, machine=m)
+            assert int(np.prod(rank_grid(nodes, 2 * k))) == lay.n_ranks
+        lay = JobLayout.cpu_run(nodes, machine=m)
+        assert int(np.prod(rank_grid(nodes, 8))) == lay.n_ranks

@@ -1,0 +1,62 @@
+"""ASCII plotting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench.plots import ascii_lineplot, scaling_plot
+
+
+class TestAsciiLineplot:
+    def test_renders_all_series_and_legend(self):
+        out = ascii_lineplot(
+            [1, 2, 4, 8],
+            {"cpu": [8, 4, 2, 1], "gpu": [4, 2, 1, 0.5]},
+            title="t",
+        )
+        assert "t" in out
+        assert "o = cpu" in out
+        assert "x = gpu" in out
+        assert "o" in out.splitlines()[1] or any(
+            "o" in l for l in out.splitlines()
+        )
+
+    def test_log_axis_labels(self):
+        out = ascii_lineplot([1, 2], {"s": [1.0, 100.0]}, logy=True)
+        assert "100" in out
+        assert "1" in out
+
+    def test_linear_mode(self):
+        out = ascii_lineplot([0, 1], {"s": [0.0, 5.0]}, logy=False)
+        assert "5" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_lineplot([1], {})
+
+    def test_rejects_nonpositive_on_log(self):
+        with pytest.raises(ValueError):
+            ascii_lineplot([1, 2], {"s": [1.0, 0.0]})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_lineplot([1, 2], {"s": [1.0]})
+
+    def test_constant_series_ok(self):
+        out = ascii_lineplot([1, 2, 3], {"s": [2.0, 2.0, 2.0]})
+        assert "s" in out
+
+
+class TestScalingPlot:
+    def test_from_fig5_dict(self):
+        data = {
+            "nodes": [1, 2, 4],
+            "n": 6084,
+            "series": {
+                "cpu 8/node": {"solve": [0.1, 0.05, 0.03], "setup": [0.01, 0.008, 0.007]},
+                "gpu 4/gpu": {"solve": [0.04, 0.02, 0.015], "setup": [0.01, 0.009, 0.008]},
+            },
+        }
+        out = scaling_plot(data, "solve")
+        assert "Fig. 5" in out
+        assert "cpu 8/node" in out
+        assert "gpu 4/gpu" in out

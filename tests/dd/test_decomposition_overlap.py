@@ -1,0 +1,170 @@
+"""Decomposition, overlap, and interface analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dd import Decomposition, analyze_interface, overlapping_subdomains
+from repro.dd.decomposition import node_graph
+from repro.fem import elasticity_3d, laplace_2d, laplace_3d
+
+
+@pytest.fixture(scope="module")
+def lap():
+    return laplace_3d(6)
+
+
+@pytest.fixture(scope="module")
+def lap_dec(lap):
+    return Decomposition.from_box_partition(lap, 2, 2, 2)
+
+
+class TestNodeGraph:
+    def test_scalar_graph_is_matrix_graph(self, lap):
+        g = node_graph(lap.a, 1)
+        assert g.n_rows == lap.a.n_rows
+        d = g.todense()
+        np.testing.assert_allclose(d, d.T)
+
+    def test_vector_graph_condenses_blocks(self):
+        p = elasticity_3d(3)
+        g = node_graph(p.a, 3)
+        assert g.n_rows == p.a.n_rows // 3
+        # two grid-adjacent nodes are graph-adjacent
+        assert g.nnz > 0
+
+    def test_rejects_bad_block_size(self, lap):
+        with pytest.raises(ValueError):
+            node_graph(lap.a, 5)
+
+
+class TestDecomposition:
+    def test_box_partition_covers(self, lap_dec, lap):
+        n_nodes = lap.a.n_rows
+        merged = np.concatenate(lap_dec.node_parts)
+        assert np.array_equal(np.sort(merged), np.arange(n_nodes))
+        assert lap_dec.n_subdomains == 8
+
+    def test_overlapping_partition_rejected(self, lap):
+        parts = [np.array([0, 1]), np.array([1, 2])]
+        with pytest.raises(ValueError):
+            Decomposition(lap.a, 1, parts, node_graph(lap.a, 1))
+
+    def test_incomplete_partition_rejected(self, lap):
+        with pytest.raises(ValueError):
+            Decomposition(lap.a, 1, [np.array([0, 1])], node_graph(lap.a, 1))
+
+    def test_dofs_of_nodes_elasticity(self):
+        p = elasticity_3d(3)
+        dec = Decomposition.from_box_partition(p, 2, 1, 1)
+        dofs = dec.dofs_of_nodes(np.array([2, 5]))
+        np.testing.assert_array_equal(dofs, [6, 7, 8, 15, 16, 17])
+
+    def test_algebraic_partition_covers_and_balances(self, lap):
+        dec = Decomposition.algebraic(lap.a, 4, dofs_per_node=1)
+        assert dec.n_subdomains == 4
+        sizes = [p.size for p in dec.node_parts]
+        assert max(sizes) <= 2.5 * min(sizes)
+        merged = np.concatenate(dec.node_parts)
+        assert np.array_equal(np.sort(merged), np.arange(lap.a.n_rows))
+
+
+class TestOverlap:
+    def test_zero_layers_identity(self, lap_dec):
+        ns = overlapping_subdomains(lap_dec, 0)
+        for a, b in zip(ns, lap_dec.node_parts):
+            np.testing.assert_array_equal(a, b)
+
+    def test_one_layer_strictly_grows_interior_parts(self, lap_dec):
+        ns = overlapping_subdomains(lap_dec, 1)
+        for ext, part in zip(ns, lap_dec.node_parts):
+            assert set(part) < set(ext)
+
+    def test_layers_monotone(self, lap_dec):
+        n1 = overlapping_subdomains(lap_dec, 1)
+        n2 = overlapping_subdomains(lap_dec, 2)
+        for a, b in zip(n1, n2):
+            assert set(a) <= set(b)
+
+    def test_negative_rejected(self, lap_dec):
+        with pytest.raises(ValueError):
+            overlapping_subdomains(lap_dec, -1)
+
+    def test_overlap_is_graph_distance(self, lap_dec):
+        """Every added node is adjacent to the previous layer."""
+        from repro.sparse.graph import bfs_levels
+
+        g = lap_dec.graph
+        part = lap_dec.node_parts[0]
+        ext = overlapping_subdomains(lap_dec, 1)[0]
+        lv = bfs_levels(g.indptr, g.indices, part, lap_dec.n_nodes)
+        added = np.setdiff1d(ext, part)
+        assert np.all(lv[added] == 1)
+
+
+class TestInterface:
+    def test_interface_nodes_touch_other_subdomains(self, lap_dec):
+        an = analyze_interface(lap_dec, dim=3)
+        owner = lap_dec.node_owner
+        g = lap_dec.graph
+        for v in an.interface_nodes[:50]:
+            nbrs = g.indices[g.indptr[v] : g.indptr[v + 1]]
+            owners = set(owner[nbrs]) | {owner[v]}
+            assert len(owners) >= 2
+
+    def test_interior_nodes_are_local(self, lap_dec):
+        an = analyze_interface(lap_dec, dim=3)
+        owner = lap_dec.node_owner
+        g = lap_dec.graph
+        for v in an.interior_nodes[:50]:
+            nbrs = g.indices[g.indptr[v] : g.indptr[v + 1]]
+            assert set(owner[nbrs]) == {owner[v]}
+
+    def test_components_partition_interface(self, lap_dec):
+        an = analyze_interface(lap_dec, dim=3)
+        all_nodes = np.concatenate([c.nodes for c in an.components])
+        np.testing.assert_array_equal(np.sort(all_nodes), an.interface_nodes)
+
+    def test_2x2x2_decomposition_has_all_kinds(self, lap_dec):
+        an = analyze_interface(lap_dec, dim=3)
+        counts = an.counts()
+        # a 2x2x2 box split has faces, edges, and a central vertex zone
+        assert counts["face"] >= 3  # some faces are cut by the BC
+        assert counts["edge"] >= 1
+        assert counts["vertex"] >= 1
+
+    def test_classification_by_multiplicity(self, lap_dec):
+        """Two-sided algebraic interface of a box split: faces see 2
+        owners, edges 4, the cross vertex 8."""
+        an = analyze_interface(lap_dec, dim=3)
+        for c in an.components:
+            if c.kind == "face" and c.nodes.size > 1:
+                assert c.multiplicity == 2
+            if c.kind == "edge" and c.nodes.size > 1:
+                assert 2 < c.multiplicity <= 4
+            if c.kind == "vertex" and c.nodes.size > 1:
+                assert c.multiplicity > 4
+
+    def test_2d_has_no_faces(self):
+        p = laplace_2d(8, 8)
+        dec = Decomposition.from_box_partition(p, 2, 2)
+        an = analyze_interface(dec, dim=2)
+        assert an.counts()["face"] == 0
+        assert an.counts()["edge"] >= 1
+
+    def test_single_subdomain_no_interface(self, lap):
+        dec = Decomposition.from_box_partition(lap, 1, 1, 1)
+        an = analyze_interface(dec, dim=3)
+        assert an.interface_nodes.size == 0
+        assert len(an.components) == 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(px=st.integers(1, 3), py=st.integers(1, 3), pz=st.integers(1, 2))
+def test_property_interface_interior_partition(px, py, pz):
+    p = laplace_3d(5)
+    dec = Decomposition.from_box_partition(p, px, py, pz)
+    an = analyze_interface(dec, dim=3)
+    union = np.concatenate([an.interface_nodes, an.interior_nodes])
+    assert np.array_equal(np.sort(union), np.arange(dec.n_nodes))

@@ -1,0 +1,117 @@
+"""Property-based invariants of the DD layer across random decompositions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dd import (
+    Decomposition,
+    GDSWPreconditioner,
+    analyze_interface,
+    build_coarse_space,
+    overlapping_subdomains,
+)
+from repro.fem import constant_nullspace, laplace_3d, rigid_body_modes, elasticity_3d
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    px=st.integers(1, 3), py=st.integers(1, 3), pz=st.integers(1, 2),
+    layers=st.integers(0, 2),
+)
+def test_property_overlap_cover(px, py, pz, layers):
+    """Overlapping subdomains always cover the domain and contain their
+    nonoverlapping cores."""
+    p = laplace_3d(5)
+    dec = Decomposition.from_box_partition(p, px, py, pz)
+    ns = overlapping_subdomains(dec, layers)
+    union = np.unique(np.concatenate(ns))
+    assert np.array_equal(union, np.arange(dec.n_nodes))
+    for core, ext in zip(dec.node_parts, ns):
+        assert np.all(np.isin(core, ext))
+
+
+@settings(max_examples=8, deadline=None)
+@given(px=st.integers(2, 3), py=st.integers(1, 3), pz=st.integers(1, 2))
+def test_property_partition_of_unity_all_variants(px, py, pz):
+    """Sum of component weights is one on the interface for both GDSW
+    variants, for every decomposition (Eq. of Section III, step 2)."""
+    p = laplace_3d(5)
+    dec = Decomposition.from_box_partition(p, px, py, pz)
+    an = analyze_interface(dec, dim=3)
+    if an.interface_nodes.size == 0:
+        return
+    z = constant_nullspace(p.a.n_rows)
+    for variant in ("gdsw", "rgdsw"):
+        cs = build_coarse_space(dec, an, z, variant=variant)
+        assert cs.partition_of_unity_error() < 1e-12
+
+
+@settings(max_examples=6, deadline=None)
+@given(px=st.integers(2, 3), py=st.integers(1, 2), pz=st.integers(1, 2))
+def test_property_constant_in_coarse_range(px, py, pz):
+    """For Laplace, the interface restriction of the constant vector is
+    exactly representable in the coarse space (the GDSW guarantee)."""
+    p = laplace_3d(5)
+    dec = Decomposition.from_box_partition(p, px, py, pz)
+    an = analyze_interface(dec, dim=3)
+    if an.interface_nodes.size == 0:
+        return
+    z = constant_nullspace(p.a.n_rows)
+    cs = build_coarse_space(dec, an, z, variant="rgdsw")
+    if cs.n_coarse == 0:
+        return
+    phi = cs.phi_gamma.todense()
+    ones = np.ones(phi.shape[0])
+    resid = ones - phi @ np.linalg.lstsq(phi, ones, rcond=None)[0]
+    assert np.abs(resid).max() < 1e-9
+
+
+class TestPreconditionerProperties:
+    def test_spd_preserved_by_two_level(self, rng):
+        """GDSW with exact SPD local and coarse solves is SPD:
+        CG-compatible (<Mv, v> > 0 and symmetry)."""
+        p = elasticity_3d(5)
+        dec = Decomposition.from_box_partition(p, 2, 2, 1)
+        m = GDSWPreconditioner(dec, rigid_body_modes(p.coordinates))
+        v, w = rng.standard_normal((2, p.a.n_rows))
+        assert m.apply(v) @ w == pytest.approx(v @ m.apply(w), rel=1e-8)
+        assert m.apply(v) @ v > 0
+
+    def test_apply_is_linear(self, rng):
+        p = laplace_3d(5)
+        dec = Decomposition.from_box_partition(p, 2, 2, 1)
+        m = GDSWPreconditioner(dec, constant_nullspace(p.a.n_rows))
+        v, w = rng.standard_normal((2, p.a.n_rows))
+        lhs = m.apply(2.0 * v - 3.0 * w)
+        rhs = 2.0 * m.apply(v) - 3.0 * m.apply(w)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+    def test_deterministic_rebuild(self):
+        """Building the preconditioner twice gives identical operators."""
+        p = laplace_3d(5)
+        dec = Decomposition.from_box_partition(p, 2, 2, 1)
+        z = constant_nullspace(p.a.n_rows)
+        m1 = GDSWPreconditioner(dec, z)
+        m2 = GDSWPreconditioner(dec, z)
+        v = np.linspace(0, 1, p.a.n_rows)
+        np.testing.assert_array_equal(m1.apply(v), m2.apply(v))
+
+    def test_scaling_equivariance(self, rng):
+        """M(alpha A)^{-1} = (1/alpha) M(A)^{-1} for exact local solves."""
+        from repro.sparse import CsrMatrix
+
+        p = laplace_3d(4)
+        a2 = CsrMatrix(p.a.indptr, p.a.indices, 2.0 * p.a.data, p.a.shape)
+        dec1 = Decomposition.from_box_partition(p, 2, 1, 1)
+        import copy
+
+        p2 = copy.copy(p)
+        p2.a = a2
+        dec2 = Decomposition.from_box_partition(p2, 2, 1, 1)
+        z = constant_nullspace(p.a.n_rows)
+        m1 = GDSWPreconditioner(dec1, z)
+        m2 = GDSWPreconditioner(dec2, z)
+        v = rng.standard_normal(p.a.n_rows)
+        np.testing.assert_allclose(m2.apply(v), 0.5 * m1.apply(v), atol=1e-10)

@@ -1,0 +1,257 @@
+"""FEM assembly: grids, quadrature, shape functions, Laplace, elasticity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem import (
+    StructuredGrid,
+    constant_nullspace,
+    elasticity_3d,
+    laplace_2d,
+    laplace_3d,
+    rigid_body_modes,
+    translations_only,
+)
+from repro.fem.elasticity import element_stiffness_elasticity, hooke_matrix
+from repro.fem.laplace import element_stiffness_laplace
+from repro.fem.quadrature import gauss_points_1d, tensor_rule
+from repro.fem.shape_functions import q1_gradients, q1_shape
+
+
+class TestGrid:
+    def test_counts_3d(self):
+        g = StructuredGrid(3, 4, 5)
+        assert g.n_nodes == 4 * 5 * 6
+        assert g.n_elements == 60
+        assert g.dim == 3
+
+    def test_counts_2d(self):
+        g = StructuredGrid(3, 4, 0)
+        assert g.dim == 2
+        assert g.n_nodes == 20
+        assert g.n_elements == 12
+
+    def test_node_id_lexicographic(self):
+        g = StructuredGrid(2, 2, 2)
+        assert g.node_id(0, 0, 0) == 0
+        assert g.node_id(1, 0, 0) == 1
+        assert g.node_id(0, 1, 0) == 3
+        assert g.node_id(0, 0, 1) == 9
+
+    def test_coordinates_match_ids(self):
+        g = StructuredGrid(2, 3, 4, lengths=(2.0, 3.0, 4.0))
+        coords = g.node_coordinates()
+        nid = g.node_id(2, 1, 3)
+        np.testing.assert_allclose(coords[nid], [2.0, 1.0, 3.0])
+
+    def test_connectivity_corners(self):
+        g = StructuredGrid(1, 1, 1)
+        conn = g.element_connectivity()
+        assert conn.shape == (1, 8)
+        # 8 distinct corner nodes
+        assert len(set(conn[0])) == 8
+
+    def test_connectivity_shared_face(self):
+        g = StructuredGrid(2, 1, 1)
+        conn = g.element_connectivity()
+        shared = set(conn[0]) & set(conn[1])
+        assert len(shared) == 4  # one shared face
+
+    def test_boundary_nodes(self):
+        g = StructuredGrid(2, 2, 2)
+        x0 = g.boundary_nodes("x0")
+        assert x0.size == 9
+        coords = g.node_coordinates()
+        assert np.all(coords[x0, 0] == 0.0)
+        x1 = g.boundary_nodes("x1")
+        assert np.all(coords[x1, 0] == 1.0)
+
+    def test_boundary_invalid_axis_2d(self):
+        with pytest.raises(ValueError):
+            StructuredGrid(2, 2, 0).boundary_nodes("z0")
+
+    def test_box_partition_covers(self):
+        g = StructuredGrid(4, 4, 4)
+        parts = g.box_partition(2, 2, 2)
+        assert len(parts) == 8
+        allnodes = np.concatenate(parts)
+        assert np.array_equal(np.sort(allnodes), np.arange(g.n_nodes))
+
+    def test_box_partition_too_many(self):
+        with pytest.raises(ValueError):
+            StructuredGrid(2, 2, 2).box_partition(5, 1, 1)
+
+
+class TestQuadrature:
+    @pytest.mark.parametrize("npts", [1, 2, 3])
+    def test_polynomial_exactness_1d(self, npts):
+        x, w = gauss_points_1d(npts)
+        # exact for degree 2*npts - 1
+        for deg in range(2 * npts):
+            exact = (1 - (-1) ** (deg + 1)) / (deg + 1)
+            assert np.sum(w * x**deg) == pytest.approx(exact, abs=1e-12)
+
+    def test_tensor_rule_volume(self):
+        for dim in (1, 2, 3):
+            _, w = tensor_rule(dim, 2)
+            assert w.sum() == pytest.approx(2.0**dim)
+
+    def test_unsupported_order(self):
+        with pytest.raises(ValueError):
+            gauss_points_1d(7)
+
+
+class TestShapeFunctions:
+    def test_partition_of_unity(self):
+        pts, _ = tensor_rule(3, 2)
+        n = q1_shape(pts)
+        np.testing.assert_allclose(n.sum(axis=1), 1.0)
+
+    def test_kronecker_at_corners(self):
+        from repro.fem.shape_functions import REF_CORNERS_3D
+
+        n = q1_shape(REF_CORNERS_3D)
+        np.testing.assert_allclose(n, np.eye(8), atol=1e-14)
+
+    def test_gradients_sum_zero(self):
+        pts, _ = tensor_rule(3, 2)
+        g = q1_gradients(pts)
+        np.testing.assert_allclose(g.sum(axis=1), 0.0, atol=1e-14)
+
+    def test_gradients_finite_difference(self):
+        p = np.array([[0.2, -0.3, 0.5]])
+        g = q1_gradients(p)[0]
+        eps = 1e-6
+        for d in range(3):
+            dp = p.copy()
+            dp[0, d] += eps
+            fd = (q1_shape(dp)[0] - q1_shape(p)[0]) / eps
+            np.testing.assert_allclose(g[:, d], fd, atol=1e-5)
+
+
+class TestLaplace:
+    def test_element_rowsum_zero(self):
+        ke = element_stiffness_laplace((0.3, 0.7, 0.9))
+        np.testing.assert_allclose(ke.sum(axis=1), 0.0, atol=1e-13)
+
+    def test_element_spd_on_complement(self):
+        ke = element_stiffness_laplace((1.0, 1.0, 1.0))
+        w = np.linalg.eigvalsh(ke)
+        assert w[0] > -1e-12
+        assert np.sum(np.abs(w) < 1e-10) == 1  # only the constant mode
+
+    def test_assembled_spd(self):
+        p = laplace_3d(3)
+        d = p.a.todense()
+        np.testing.assert_allclose(d, d.T, atol=1e-12)
+        assert np.linalg.eigvalsh(d)[0] > 0
+
+    def test_neumann_nullspace(self):
+        p = laplace_3d(3, dirichlet_faces=())
+        r = p.a.matvec(constant_nullspace(p.a.n_rows)[:, 0])
+        assert np.abs(r).max() < 1e-11
+
+    def test_2d_solution_positive(self):
+        p = laplace_2d(5, dirichlet_faces=("x0", "x1", "y0", "y1"))
+        x = np.linalg.solve(p.a.todense(), p.b)
+        assert x.min() > 0  # discrete maximum principle for the Q1 Laplacian
+
+    def test_convergence_to_manufactured_solution(self):
+        # u = sin(pi x) on [0,1], f = pi^2 sin(pi x), 1D-like via thin 3D
+        errs = []
+        for ne in (4, 8):
+            p = laplace_3d(ne, 1, 1, dirichlet_faces=("x0", "x1"))
+            xs = p.coordinates[:, 0]
+            f = np.pi**2 * np.sin(np.pi * xs)
+            # consistent load: mass-lumped approximation is enough for rate
+            h = 1.0 / ne
+            b = f * (p.b / p.b.max() * (h * 1.0 * 1.0))  # scale unit load
+            u = np.linalg.solve(p.a.todense(), p.b / p.b.max() * f * np.prod(p.grid.spacing))
+            exact = np.sin(np.pi * xs)
+            errs.append(np.max(np.abs(u - exact)))
+        assert errs[1] < errs[0]  # refining reduces the error
+
+
+class TestElasticity:
+    def test_hooke_spd(self):
+        d = hooke_matrix(210.0, 0.3)
+        assert np.linalg.eigvalsh(d)[0] > 0
+        np.testing.assert_allclose(d, d.T)
+
+    def test_element_six_zero_modes(self):
+        ke = element_stiffness_elasticity((0.4, 0.5, 0.6), 100.0, 0.25)
+        w = np.linalg.eigvalsh(ke)
+        assert np.sum(np.abs(w) < 1e-8 * w[-1]) == 6
+
+    def test_element_rigid_modes_in_nullspace(self):
+        g = StructuredGrid(1, 1, 1, (0.4, 0.5, 0.6))
+        coords = g.node_coordinates()[g.element_connectivity()[0]]
+        ke = element_stiffness_elasticity(g.spacing, 100.0, 0.25)
+        z = rigid_body_modes(coords)
+        assert np.abs(ke @ z).max() < 1e-9
+
+    def test_assembled_spd(self, small_elasticity):
+        d = small_elasticity.a.todense()
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+        assert np.linalg.eigvalsh(d)[0] > 0
+
+    def test_neumann_rigid_body_nullspace(self):
+        p = elasticity_3d(2, dirichlet_faces=())
+        z = rigid_body_modes(p.coordinates)
+        assert np.abs(p.a.matmat(z)).max() < 1e-8
+        # and the null space is exactly 6-dimensional
+        w = np.linalg.eigvalsh(p.a.todense())
+        assert np.sum(np.abs(w) < 1e-8 * abs(w[-1])) == 6
+
+    def test_gravity_deflects_down(self, small_elasticity):
+        p = small_elasticity
+        x = np.linalg.solve(p.a.todense(), p.b)
+        uz = x[2::3]
+        assert uz.mean() < 0  # body force (0,0,-1) pushes down
+
+    def test_clamped_face_removed(self):
+        p = elasticity_3d(3)
+        assert p.a.n_rows == 3 * (4 * 4 * 4 - 16)
+        assert np.all(p.coordinates[:, 0] > 0)
+
+
+class TestNullspaces:
+    def test_translations_only_shape(self):
+        z = translations_only(5, 3)
+        assert z.shape == (15, 3)
+        np.testing.assert_allclose(z.sum(axis=0), [5, 5, 5])
+
+    def test_rigid_modes_rank(self, rng):
+        coords = rng.standard_normal((10, 3))
+        z = rigid_body_modes(coords)
+        assert np.linalg.matrix_rank(z) == 6
+
+    def test_rigid_modes_orthogonal_to_strain(self, rng):
+        # any rigid motion has zero linearized strain: check via a random
+        # elasticity element
+        ke = element_stiffness_elasticity((1.0, 1.0, 1.0), 1.0, 0.3)
+        g = StructuredGrid(1, 1, 1)
+        coords = g.node_coordinates()[g.element_connectivity()[0]]
+        z = rigid_body_modes(coords)
+        assert np.abs(z.T @ ke @ z).max() < 1e-12
+
+    def test_bad_coordinates_shape(self):
+        with pytest.raises(ValueError):
+            rigid_body_modes(np.zeros((4, 2)))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nx=st.integers(1, 4), ny=st.integers(1, 4), nz=st.integers(1, 4),
+    px=st.integers(1, 2), py=st.integers(1, 2), pz=st.integers(1, 2),
+)
+def test_property_box_partition_is_partition(nx, ny, nz, px, py, pz):
+    g = StructuredGrid(nx, ny, nz)
+    counts = g.node_counts
+    if px > counts[0] or py > counts[1] or pz > counts[2]:
+        return
+    parts = g.box_partition(px, py, pz)
+    merged = np.concatenate(parts)
+    assert np.array_equal(np.sort(merged), np.arange(g.n_nodes))

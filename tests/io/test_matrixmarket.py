@@ -1,0 +1,100 @@
+"""MatrixMarket I/O roundtrips and format handling."""
+
+import numpy as np
+import pytest
+
+from repro.io import read_matrix_market, write_matrix_market
+from repro.sparse import CsrMatrix
+from tests.conftest import random_csr
+
+
+class TestRoundtrip:
+    def test_general_roundtrip(self, tmp_path, rng):
+        a = random_csr(9, 7, seed=3)
+        path = tmp_path / "a.mtx"
+        write_matrix_market(path, a, comment="test matrix")
+        b = read_matrix_market(path)
+        assert b.shape == a.shape
+        np.testing.assert_allclose(b.todense(), a.todense(), atol=1e-15)
+
+    def test_values_exact(self, tmp_path):
+        """repr-based writing preserves float64 values bit-exactly."""
+        a = CsrMatrix.from_dense(np.array([[np.pi, 0.0], [0.0, 1.0 / 3.0]]))
+        path = tmp_path / "exact.mtx"
+        write_matrix_market(path, a)
+        b = read_matrix_market(path)
+        np.testing.assert_array_equal(b.data, a.data)
+
+    def test_fem_matrix_roundtrip(self, tmp_path, small_laplace):
+        path = tmp_path / "lap.mtx"
+        write_matrix_market(path, small_laplace.a)
+        b = read_matrix_market(path)
+        assert b.nnz == small_laplace.a.nnz
+        np.testing.assert_allclose(b.todense(), small_laplace.a.todense())
+
+
+class TestFormats:
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 4\n"
+            "1 1 2.0\n"
+            "2 1 -1.0\n"
+            "2 2 2.0\n"
+            "3 3 1.5\n"
+        )
+        a = read_matrix_market(path)
+        d = a.todense()
+        np.testing.assert_allclose(d, d.T)
+        assert d[0, 1] == -1.0 and d[1, 0] == -1.0
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "pat.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 1\n"
+            "2 2\n"
+        )
+        a = read_matrix_market(path)
+        np.testing.assert_allclose(a.todense(), np.eye(2))
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "% another\n"
+            "1 1 1\n"
+            "1 1 5.0\n"
+        )
+        assert read_matrix_market(path).todense()[0, 0] == 5.0
+
+    def test_missing_banner_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("1 1 1\n1 1 5.0\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        path = tmp_path / "arr.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_complex_rejected(self, tmp_path):
+        path = tmp_path / "cplx.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 2.0\n"
+        )
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "tr.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+        )
+        with pytest.raises(ValueError):
+            read_matrix_market(path)

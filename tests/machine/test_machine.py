@@ -1,0 +1,150 @@
+"""Machine model: kernels, specs, pricing spaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    CpuSpace,
+    CpuSpec,
+    GpuSpace,
+    GpuSpec,
+    Kernel,
+    KernelProfile,
+    MachineSpec,
+    price,
+    summit,
+)
+
+
+class TestKernelProfile:
+    def test_totals(self):
+        p = KernelProfile()
+        p.add("a.x", flops=10, bytes=100, parallelism=4, launches=2)
+        p.add("b.y", flops=5, bytes=50)
+        assert p.total_flops == 15
+        assert p.total_bytes == 150
+        assert p.total_launches == 3
+        assert len(p) == 2
+
+    def test_by_family_groups_on_prefix(self):
+        p = KernelProfile()
+        p.add("sptrsv.level", 1, 1)
+        p.add("sptrsv.supernode", 2, 2)
+        p.add("factor.front", 3, 3)
+        fams = p.by_family()
+        assert set(fams) == {"sptrsv", "factor"}
+        assert fams["sptrsv"].total_flops == 3
+
+    def test_scaled_bytes_only_bytes(self):
+        p = KernelProfile([Kernel("x", 10, 100, 2, 3)])
+        q = p.scaled_bytes(0.5)
+        k = q.kernels[0]
+        assert k.bytes == 50 and k.flops == 10 and k.launches == 3
+
+    def test_work_scaled_both(self):
+        p = KernelProfile([Kernel("x", 10, 100)])
+        k = p.work_scaled(0.1).kernels[0]
+        assert k.flops == 1 and k.bytes == 10
+
+    def test_extend(self):
+        p, q = KernelProfile(), KernelProfile()
+        p.add("a", 1, 1)
+        q.add("b", 2, 2)
+        p.extend(q)
+        assert len(p) == 2
+
+
+class TestCpuSpace:
+    def test_roofline_max(self):
+        space = CpuSpace(CpuSpec(flop_rate=10.0, bandwidth=5.0), threads=1)
+        assert space.kernel_seconds(Kernel("x", 100, 1)) == pytest.approx(10.0)
+        assert space.kernel_seconds(Kernel("x", 1, 100)) == pytest.approx(20.0)
+
+    def test_threads_scale_parallel_kernels(self):
+        spec = CpuSpec(flop_rate=10.0, bandwidth=10.0)
+        k = Kernel("x", 100, 100, parallelism=8)
+        t1 = CpuSpace(spec, threads=1).kernel_seconds(k)
+        t4 = CpuSpace(spec, threads=4).kernel_seconds(k)
+        assert t4 == pytest.approx(t1 / 4)
+
+    def test_threads_capped_by_parallelism(self):
+        spec = CpuSpec(flop_rate=10.0, bandwidth=10.0)
+        k = Kernel("x", 100, 100, parallelism=2)
+        t8 = CpuSpace(spec, threads=8).kernel_seconds(k)
+        t2 = CpuSpace(spec, threads=2).kernel_seconds(k)
+        assert t8 == pytest.approx(t2)
+
+    def test_no_launch_cost(self):
+        space = CpuSpace(CpuSpec(1e9, 1e9))
+        a = space.kernel_seconds(Kernel("x", 10, 10, launches=1))
+        b = space.kernel_seconds(Kernel("x", 10, 10, launches=1000))
+        assert a == b
+
+
+class TestGpuSpace:
+    def test_launch_latency_dominates_tiny_kernels(self):
+        spec = GpuSpec(launch_latency=1e-5)
+        space = GpuSpace(spec, share=1.0)
+        t = space.kernel_seconds(Kernel("x", 1, 8, parallelism=1, launches=3))
+        assert t == pytest.approx(3e-5, rel=0.2)
+
+    def test_occupancy_saturates(self):
+        spec = GpuSpec(saturation_parallelism=1000.0)
+        space = GpuSpace(spec, share=1.0)
+        assert space.occupancy(2000) == 1.0
+        assert space.occupancy(500) == pytest.approx(0.5)
+
+    def test_occupancy_floor_one_warp(self):
+        spec = GpuSpec(saturation_parallelism=1000.0)
+        space = GpuSpace(spec, share=1.0)
+        assert space.occupancy(1) == pytest.approx(64 / 1000)
+
+    def test_mps_share_scales_resources_and_saturation(self):
+        spec = GpuSpec(saturation_parallelism=1000.0)
+        full = GpuSpace(spec, share=1.0)
+        quarter = GpuSpace(spec, share=0.25)
+        # a kernel saturating the slice runs 4x slower on 1/4 GPU
+        k = Kernel("x", 1e9, 1e6, parallelism=1e6)
+        assert quarter.kernel_seconds(k) == pytest.approx(
+            4 * full.kernel_seconds(k), rel=1e-3
+        )
+        # but small kernels saturate the slice earlier
+        assert quarter.occupancy(250) == 1.0
+        assert full.occupancy(250) < 1.0
+
+    def test_price_sums_kernels(self):
+        p = KernelProfile([Kernel("x", 1e6, 1e6), Kernel("y", 2e6, 2e6)])
+        space = GpuSpace(GpuSpec(), share=1.0)
+        assert price(p, space) == pytest.approx(
+            space.kernel_seconds(p.kernels[0]) + space.kernel_seconds(p.kernels[1])
+        )
+
+
+class TestMachineSpec:
+    def test_summit_defaults(self):
+        m = summit()
+        assert m.cores_per_node == 42
+        assert m.gpus_per_node == 6
+        assert 0 < m.coarse_scale <= 1
+
+    def test_threaded_cpu(self):
+        c = CpuSpec(2.0, 4.0).threaded(7)
+        assert c.flop_rate == 14.0
+        assert c.bandwidth == 28.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    flops=st.floats(1, 1e9), bytes_=st.floats(1, 1e9),
+    par=st.floats(1, 1e6), share=st.sampled_from([1.0, 0.5, 0.25]),
+)
+def test_property_gpu_time_positive_and_monotone(flops, bytes_, par, share):
+    space = GpuSpace(GpuSpec(), share=share)
+    k = Kernel("x", flops, bytes_, parallelism=par)
+    t = space.kernel_seconds(k)
+    assert t > 0
+    # more work never runs faster
+    k2 = Kernel("x", flops * 2, bytes_ * 2, parallelism=par)
+    assert space.kernel_seconds(k2) >= t

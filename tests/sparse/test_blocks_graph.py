@@ -1,0 +1,164 @@
+"""Submatrix extraction, permutation, 2x2 splits, and graph utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    CsrMatrix,
+    bfs_levels,
+    connected_components,
+    expand_layers,
+    extract_submatrix,
+    permute,
+    pseudo_peripheral_node,
+    split_2x2,
+    symmetrize_pattern,
+)
+from repro.sparse.blocks import inverse_permutation
+from repro.sparse.graph import subgraph_components
+from tests.conftest import random_csr
+
+
+def path_graph(n: int) -> CsrMatrix:
+    d = np.zeros((n, n))
+    for i in range(n - 1):
+        d[i, i + 1] = d[i + 1, i] = 1.0
+    return CsrMatrix.from_dense(d)
+
+
+class TestBlocks:
+    def test_extract_matches_fancy_indexing(self):
+        a = random_csr(8, 8, seed=0)
+        rows = np.array([1, 4, 6])
+        cols = np.array([0, 2, 3, 7])
+        sub = extract_submatrix(a, rows, cols)
+        np.testing.assert_allclose(sub.todense(), a.todense()[np.ix_(rows, cols)])
+
+    def test_extract_respects_order(self):
+        a = random_csr(6, 6, seed=1, ensure_diag=True)
+        rows = np.array([5, 0, 3])
+        sub = extract_submatrix(a, rows)
+        np.testing.assert_allclose(sub.todense(), a.todense()[np.ix_(rows, rows)])
+
+    def test_permute_roundtrip(self, rng):
+        a = random_csr(9, 9, seed=2)
+        perm = rng.permutation(9)
+        inv = inverse_permutation(perm)
+        back = permute(permute(a, perm), inv)
+        np.testing.assert_allclose(back.todense(), a.todense())
+
+    def test_inverse_permutation(self):
+        p = np.array([2, 0, 1])
+        np.testing.assert_array_equal(inverse_permutation(p)[p], np.arange(3))
+
+    def test_split_2x2_reassembles(self):
+        a = random_csr(8, 8, seed=3, ensure_diag=True)
+        gamma = np.array([1, 5, 6])
+        a_ii, a_ig, a_gi, a_gg, interior, interface = split_2x2(a, gamma)
+        d = a.todense()
+        np.testing.assert_allclose(a_ii.todense(), d[np.ix_(interior, interior)])
+        np.testing.assert_allclose(a_ig.todense(), d[np.ix_(interior, interface)])
+        np.testing.assert_allclose(a_gi.todense(), d[np.ix_(interface, interior)])
+        np.testing.assert_allclose(a_gg.todense(), d[np.ix_(interface, interface)])
+        assert set(interior) | set(interface) == set(range(8))
+
+    def test_split_requires_square(self):
+        with pytest.raises(ValueError):
+            split_2x2(random_csr(3, 4, seed=4), np.array([0]))
+
+
+class TestGraph:
+    def test_symmetrize_no_diagonal(self):
+        a = random_csr(7, 7, seed=5, ensure_diag=True)
+        g = symmetrize_pattern(a)
+        d = g.todense()
+        np.testing.assert_allclose(d, d.T)
+        assert np.all(np.diag(d) == 0)
+
+    def test_bfs_levels_path(self):
+        g = path_graph(6)
+        lv = bfs_levels(g.indptr, g.indices, [0], 6)
+        np.testing.assert_array_equal(lv, np.arange(6))
+
+    def test_bfs_multi_source(self):
+        g = path_graph(5)
+        lv = bfs_levels(g.indptr, g.indices, [0, 4], 5)
+        np.testing.assert_array_equal(lv, [0, 1, 2, 1, 0])
+
+    def test_bfs_unreachable(self):
+        d = np.zeros((4, 4))
+        d[0, 1] = d[1, 0] = 1.0
+        g = CsrMatrix.from_dense(d)
+        gg = symmetrize_pattern(g)
+        lv = bfs_levels(gg.indptr, gg.indices, [0], 4)
+        assert lv[2] == -1 and lv[3] == -1
+
+    def test_expand_layers_is_monotone(self):
+        g = path_graph(10)
+        prev = np.array([4])
+        for layers in range(4):
+            cur = expand_layers(g.indptr, g.indices, np.array([4]), layers, 10)
+            assert set(prev).issubset(set(cur))
+            prev = cur
+        np.testing.assert_array_equal(
+            expand_layers(g.indptr, g.indices, np.array([4]), 2, 10), [2, 3, 4, 5, 6]
+        )
+
+    def test_connected_components(self):
+        d = np.zeros((6, 6))
+        d[0, 1] = d[1, 0] = 1.0
+        d[2, 3] = d[3, 2] = 1.0
+        g = symmetrize_pattern(CsrMatrix.from_dense(d))
+        comp = connected_components(g.indptr, g.indices, 6)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+        assert len({comp[4], comp[5], comp[0], comp[2]}) == 4
+
+    def test_subgraph_components(self):
+        g = path_graph(10)
+        comps = subgraph_components(
+            g.indptr, g.indices, np.array([0, 1, 2, 5, 6, 9]), 10
+        )
+        sets = sorted(tuple(c) for c in comps)
+        assert sets == [(0, 1, 2), (5, 6), (9,)]
+
+    def test_pseudo_peripheral_on_path(self):
+        g = path_graph(9)
+        node, levels = pseudo_peripheral_node(
+            g.indptr, g.indices, np.arange(9), 9
+        )
+        assert node in (0, 8)
+        assert levels.max() == 8
+
+    def test_pseudo_peripheral_restricted(self):
+        g = path_graph(10)
+        node, levels = pseudo_peripheral_node(
+            g.indptr, g.indices, np.arange(3, 8), 10
+        )
+        assert node in (3, 7)
+        assert levels[np.arange(3)].max() == -1  # outside the subset
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 12), seed=st.integers(0, 10_000))
+def test_property_extract_principal(n, seed):
+    a = random_csr(n, n, seed=seed)
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(1, n + 1))
+    rows = rng.choice(n, size=k, replace=False)
+    np.testing.assert_allclose(
+        extract_submatrix(a, rows).todense(), a.todense()[np.ix_(rows, rows)]
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 12), seed=st.integers(0, 10_000))
+def test_property_permutation_preserves_spectrum(n, seed):
+    a = random_csr(n, n, seed=seed, ensure_diag=True)
+    perm = np.random.default_rng(seed).permutation(n)
+    w1 = np.sort(np.linalg.eigvals(a.todense()).real)
+    w2 = np.sort(np.linalg.eigvals(permute(a, perm).todense()).real)
+    np.testing.assert_allclose(w1, w2, atol=1e-8)

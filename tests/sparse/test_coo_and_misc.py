@@ -1,0 +1,84 @@
+"""COO container, coalescing, and assorted CSR edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CooMatrix, CsrMatrix, coalesce
+from tests.conftest import random_csr
+
+
+class TestCoalesce:
+    def test_sums_and_sorts(self):
+        r, c, v = coalesce(
+            np.array([1, 0, 1]), np.array([0, 1, 0]), np.array([1.0, 2.0, 3.0]), (2, 2)
+        )
+        np.testing.assert_array_equal(r, [0, 1])
+        np.testing.assert_array_equal(c, [1, 0])
+        np.testing.assert_allclose(v, [2.0, 4.0])
+
+    def test_empty(self):
+        r, c, v = coalesce(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0), (3, 3)
+        )
+        assert r.size == c.size == v.size == 0
+
+    def test_bounds_checked(self):
+        with pytest.raises(IndexError):
+            coalesce(np.array([3]), np.array([0]), np.array([1.0]), (2, 2))
+        with pytest.raises(IndexError):
+            coalesce(np.array([0]), np.array([-1]), np.array([1.0]), (2, 2))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            coalesce(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+
+
+class TestCooMatrix:
+    def test_todense_sums_duplicates(self):
+        m = CooMatrix(
+            np.array([0, 0]), np.array([1, 1]), np.array([1.5, 2.5]), (2, 3)
+        )
+        d = m.todense()
+        assert d[0, 1] == 4.0
+        assert m.nnz == 2  # triplet count, pre-coalesce
+
+    def test_tocsr_equals_todense(self):
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, 5, 20)
+        cols = rng.integers(0, 4, 20)
+        vals = rng.standard_normal(20)
+        m = CooMatrix(rows, cols, vals, (5, 4))
+        np.testing.assert_allclose(m.tocsr().todense(), m.todense())
+
+    def test_mismatched_triplets_rejected(self):
+        with pytest.raises(ValueError):
+            CooMatrix(np.array([0]), np.array([0, 1]), np.array([1.0]), (2, 2))
+
+
+class TestCsrEdgeCases:
+    def test_eliminate_zeros_with_tolerance(self):
+        a = CsrMatrix.from_dense(np.array([[1.0, 1e-14], [1e-3, 2.0]]))
+        assert a.eliminate_zeros(tol=1e-10).nnz == 3
+        assert a.eliminate_zeros(tol=1e-2).nnz == 2
+
+    def test_matvec_dtype_promotion(self):
+        a = random_csr(4, 4, seed=1).astype(np.float32)
+        y = a.matvec(np.ones(4, dtype=np.float64))
+        assert y.dtype == np.float64
+
+    def test_zero_row_and_column_matrix(self):
+        a = CsrMatrix.from_coo(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0), (0, 5)
+        )
+        assert a.matvec(np.ones(5)).shape == (0,)
+        assert a.T.shape == (5, 0)
+
+    def test_is_sorted_detects_disorder(self):
+        a = CsrMatrix(
+            np.array([0, 2]), np.array([1, 0]), np.array([1.0, 2.0]), (1, 2)
+        )
+        assert not a.is_sorted()
+
+    def test_repr_mentions_shape(self):
+        a = random_csr(3, 4, seed=2)
+        assert "3" in repr(a) and "4" in repr(a)

@@ -1,0 +1,137 @@
+"""SpGEMM / SpAdd correctness against the scipy oracle."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import CsrMatrix, spadd, spgemm
+from repro.sparse.spgemm import _concat_ranges, expand_products, spgemm_flops
+from tests.conftest import random_csr
+
+
+class TestConcatRanges:
+    def test_basic(self):
+        out = _concat_ranges(np.array([5, 0, 10]), np.array([2, 3, 1]))
+        np.testing.assert_array_equal(out, [5, 6, 0, 1, 2, 10])
+
+    def test_empty_ranges_skipped(self):
+        out = _concat_ranges(np.array([3, 7, 1]), np.array([0, 2, 0]))
+        np.testing.assert_array_equal(out, [7, 8])
+
+    def test_all_empty(self):
+        assert _concat_ranges(np.array([1, 2]), np.array([0, 0])).size == 0
+
+    def test_single_range(self):
+        np.testing.assert_array_equal(
+            _concat_ranges(np.array([4]), np.array([3])), [4, 5, 6]
+        )
+
+
+class TestSpgemm:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        m, k, n = rng.integers(1, 15, 3)
+        a = random_csr(m, k, density=0.4, seed=seed)
+        b = random_csr(k, n, density=0.4, seed=seed + 100)
+        c = spgemm(a, b)
+        np.testing.assert_allclose(
+            c.todense(), (a.to_scipy() @ b.to_scipy()).toarray(), atol=1e-12
+        )
+        assert c.is_sorted()
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            spgemm(random_csr(3, 4, seed=0), random_csr(5, 3, seed=1))
+
+    def test_empty_operand(self):
+        a = CsrMatrix.from_coo(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0), (3, 4)
+        )
+        b = random_csr(4, 5, seed=2)
+        assert spgemm(a, b).nnz == 0
+
+    def test_identity_neutral(self):
+        from repro.sparse import eye
+
+        a = random_csr(6, 6, seed=3)
+        np.testing.assert_allclose(spgemm(eye(6), a).todense(), a.todense())
+        np.testing.assert_allclose(spgemm(a, eye(6)).todense(), a.todense())
+
+    def test_drop_tol_removes_cancellation(self):
+        a = CsrMatrix.from_dense(np.array([[1.0, 1.0], [0.0, 0.0]]))
+        b = CsrMatrix.from_dense(np.array([[1.0, 0.0], [-1.0, 0.0]]))
+        c = spgemm(a, b)  # exact cancellation at (0, 0)
+        assert spgemm(a, b, drop_tol=0.0).nnz < max(c.nnz, 1) or c.nnz == 0
+
+    def test_flop_count(self):
+        a = random_csr(8, 8, seed=4)
+        b = random_csr(8, 8, seed=5)
+        # flops = 2 * number of partial products
+        rows, _, _ = expand_products(a, b)
+        assert spgemm_flops(a, b) == 2 * rows.size
+
+    def test_triple_product_coarse_style(self):
+        """Phi^T A Phi stays symmetric for symmetric A (A0 assembly)."""
+        a = random_csr(10, 10, seed=6, ensure_diag=True)
+        a_sym = CsrMatrix.from_dense(a.todense() + a.todense().T)
+        phi = random_csr(10, 3, seed=7, density=0.5)
+        a0 = spgemm(phi.transpose(), spgemm(a_sym, phi))
+        np.testing.assert_allclose(a0.todense(), a0.todense().T, atol=1e-12)
+
+
+class TestSpadd:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scipy(self, seed):
+        a = random_csr(7, 9, seed=seed)
+        b = random_csr(7, 9, seed=seed + 50)
+        c = spadd(a, b, alpha=2.0, beta=-0.5)
+        np.testing.assert_allclose(
+            c.todense(), 2.0 * a.todense() - 0.5 * b.todense(), atol=1e-12
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            spadd(random_csr(3, 3, seed=0), random_csr(4, 4, seed=1))
+
+    def test_cancellation_keeps_explicit_zero(self):
+        a = random_csr(5, 5, seed=2)
+        c = spadd(a, a, alpha=1.0, beta=-1.0)
+        assert c.nnz == a.nnz  # explicit zeros retained
+        assert np.all(c.data == 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(1, 10), k=st.integers(1, 10), n=st.integers(1, 10),
+    seed=st.integers(0, 10_000),
+)
+def test_property_spgemm_oracle(m, k, n, seed):
+    a = random_csr(m, k, density=0.5, seed=seed)
+    b = random_csr(k, n, density=0.5, seed=seed + 1)
+    np.testing.assert_allclose(
+        spgemm(a, b).todense(), a.todense() @ b.todense(), atol=1e-10
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 10), seed=st.integers(0, 10_000))
+def test_property_spgemm_associative(n, seed):
+    a = random_csr(n, n, density=0.5, seed=seed)
+    b = random_csr(n, n, density=0.5, seed=seed + 1)
+    c = random_csr(n, n, density=0.5, seed=seed + 2)
+    left = spgemm(spgemm(a, b), c).todense()
+    right = spgemm(a, spgemm(b, c)).todense()
+    np.testing.assert_allclose(left, right, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 12), seed=st.integers(0, 10_000))
+def test_property_spadd_commutes(n, seed):
+    a = random_csr(n, n, seed=seed)
+    b = random_csr(n, n, seed=seed + 1)
+    np.testing.assert_allclose(
+        spadd(a, b).todense(), spadd(b, a).todense(), atol=1e-12
+    )

@@ -1,0 +1,246 @@
+"""Triangular solvers: substitution, level-set, supernodal, partitioned
+inverse, Jacobi (FastSpTRSV)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import CsrMatrix
+from repro.tri import (
+    JacobiTriangular,
+    LevelScheduledTriangular,
+    PartitionedInverseTriangular,
+    SupernodalTriangular,
+    detect_supernodes,
+    level_schedule,
+    solve_lower,
+    solve_upper,
+)
+
+
+def random_lower(n, seed=0, density=0.2, unit=False):
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal((n, n))
+    d[rng.random((n, n)) > density] = 0.0
+    l = np.tril(d, -1)
+    l += np.diag(np.ones(n) if unit else 1.0 + rng.random(n))
+    return l, CsrMatrix.from_dense(l)
+
+
+class TestSubstitution:
+    def test_lower(self, rng):
+        ld, l = random_lower(30, seed=1)
+        b = rng.standard_normal(30)
+        np.testing.assert_allclose(ld @ solve_lower(l, b), b, atol=1e-10)
+
+    def test_upper(self, rng):
+        ld, _ = random_lower(30, seed=2)
+        ud = ld.T
+        u = CsrMatrix.from_dense(ud)
+        b = rng.standard_normal(30)
+        np.testing.assert_allclose(ud @ solve_upper(u, b), b, atol=1e-10)
+
+    def test_unit_diagonal(self, rng):
+        ld, _ = random_lower(20, seed=3, unit=True)
+        strict = CsrMatrix.from_dense(np.tril(ld, -1))
+        b = rng.standard_normal(20)
+        np.testing.assert_allclose(
+            ld @ solve_lower(strict, b, unit_diagonal=True), b, atol=1e-10
+        )
+
+    def test_missing_diagonal_raises(self):
+        l = CsrMatrix.from_dense(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        with pytest.raises(ZeroDivisionError):
+            solve_lower(l, np.ones(2))
+
+
+class TestLevelSchedule:
+    def test_diagonal_matrix_one_level(self):
+        l = CsrMatrix.from_dense(np.diag([1.0, 2.0, 3.0]))
+        lv = level_schedule(l)
+        np.testing.assert_array_equal(lv, [0, 0, 0])
+
+    def test_dense_lower_chain(self):
+        ld, l = random_lower(8, seed=4, density=1.0)
+        lv = level_schedule(l)
+        np.testing.assert_array_equal(lv, np.arange(8))
+
+    def test_upper_orientation(self):
+        ld, _ = random_lower(8, seed=5, density=1.0)
+        u = CsrMatrix.from_dense(ld.T)
+        lv = level_schedule(u, lower=False)
+        np.testing.assert_array_equal(lv, np.arange(8)[::-1])
+
+    def test_levels_respect_dependencies(self):
+        ld, l = random_lower(40, seed=6)
+        lv = level_schedule(l)
+        rows = np.repeat(np.arange(40), l.row_nnz())
+        strict = l.indices < rows
+        assert np.all(lv[rows[strict]] > lv[l.indices[strict]])
+
+
+class TestLevelScheduledSolver:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_substitution(self, seed, rng):
+        ld, l = random_lower(50, seed=seed)
+        b = rng.standard_normal(50)
+        expected = solve_lower(l, b)
+        got = LevelScheduledTriangular(l, lower=True).solve(b)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_upper(self, rng):
+        ld, _ = random_lower(40, seed=9)
+        u = CsrMatrix.from_dense(ld.T)
+        b = rng.standard_normal(40)
+        got = LevelScheduledTriangular(u, lower=False).solve(b)
+        np.testing.assert_allclose(ld.T @ got, b, atol=1e-10)
+
+    def test_multiple_rhs(self, rng):
+        ld, l = random_lower(25, seed=10)
+        b = rng.standard_normal((25, 4))
+        got = LevelScheduledTriangular(l).solve(b)
+        np.testing.assert_allclose(ld @ got, b, atol=1e-10)
+
+    def test_unit_diagonal(self, rng):
+        ld, _ = random_lower(20, seed=11, unit=True)
+        strict = CsrMatrix.from_dense(np.tril(ld, -1))
+        got = LevelScheduledTriangular(strict, unit_diagonal=True).solve(np.ones(20))
+        np.testing.assert_allclose(ld @ got, np.ones(20), atol=1e-10)
+
+    def test_zero_diagonal_rejected(self):
+        l = CsrMatrix.from_dense(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        with pytest.raises(ZeroDivisionError):
+            LevelScheduledTriangular(l)
+
+    def test_kernel_profile_one_per_level(self):
+        ld, l = random_lower(30, seed=12)
+        s = LevelScheduledTriangular(l)
+        prof = s.kernel_profile()
+        assert len(prof) == s.n_levels
+        assert prof.total_flops >= 2 * (l.nnz - 30)
+
+
+class TestSupernodal:
+    @staticmethod
+    def _chol_factor(n=36, seed=13):
+        rng = np.random.default_rng(seed)
+        from tests.conftest import random_spd
+
+        a = random_spd(n, seed=seed)
+        lc = np.linalg.cholesky(a.todense())
+        lsp = CsrMatrix.from_dense(lc, tol=1e-14)
+        lt = lsp.transpose()  # CSC of L
+        return lc, SupernodalTriangular.from_csc(
+            lt.indptr, lt.indices, lt.data, n
+        )
+
+    def test_forward_backward(self, rng):
+        lc, snt = self._chol_factor()
+        b = rng.standard_normal(lc.shape[0])
+        np.testing.assert_allclose(lc @ snt.solve_forward(b), b, atol=1e-10)
+        np.testing.assert_allclose(lc.T @ snt.solve_backward(b), b, atol=1e-10)
+
+    def test_multiple_rhs(self, rng):
+        lc, snt = self._chol_factor(seed=14)
+        b = rng.standard_normal((lc.shape[0], 3))
+        np.testing.assert_allclose(lc @ snt.solve_forward(b), b, atol=1e-10)
+
+    def test_detect_supernodes_dense_lower(self):
+        n = 8
+        lc = np.tril(np.ones((n, n))) + np.eye(n)
+        lsp = CsrMatrix.from_dense(lc).transpose()
+        sn_ptr = detect_supernodes(lsp.indptr, lsp.indices, max_width=64)
+        assert sn_ptr.tolist() == [0, n]  # a dense factor is ONE supernode
+
+    def test_detect_supernodes_diagonal(self):
+        lsp = CsrMatrix.from_dense(np.eye(5))
+        sn_ptr = detect_supernodes(lsp.indptr, lsp.indices)
+        assert sn_ptr.size == 6  # no merging possible
+
+    def test_max_width_splits(self):
+        n = 8
+        lc = np.tril(np.ones((n, n))) + np.eye(n)
+        lsp = CsrMatrix.from_dense(lc).transpose()
+        sn_ptr = detect_supernodes(lsp.indptr, lsp.indices, max_width=3)
+        assert np.all(np.diff(sn_ptr) <= 3)
+
+    def test_fewer_launches_than_element_levels(self):
+        from repro.fem import laplace_2d
+
+        p = laplace_2d(7, 7, dirichlet_faces=("x0", "x1", "y0", "y1"))
+        lc = np.linalg.cholesky(p.a.todense())
+        lsp = CsrMatrix.from_dense(lc, tol=1e-14)
+        lt = lsp.transpose()
+        snt = SupernodalTriangular.from_csc(lt.indptr, lt.indices, lt.data, lsp.n_rows)
+        element = LevelScheduledTriangular(lsp)
+        assert snt.kernel_profile().total_launches < element.kernel_profile().total_launches
+
+
+class TestPartitionedInverse:
+    def test_exact_lower(self, rng):
+        ld, l = random_lower(35, seed=15)
+        b = rng.standard_normal(35)
+        got = PartitionedInverseTriangular(l, lower=True).solve(b)
+        np.testing.assert_allclose(ld @ got, b, atol=1e-9)
+
+    def test_exact_upper(self, rng):
+        ld, _ = random_lower(35, seed=16)
+        u = CsrMatrix.from_dense(ld.T)
+        got = PartitionedInverseTriangular(u, lower=False).solve(np.ones(35))
+        np.testing.assert_allclose(ld.T @ got, np.ones(35), atol=1e-9)
+
+    def test_spmv_kernels_full_parallelism(self):
+        ld, l = random_lower(20, seed=17)
+        pi = PartitionedInverseTriangular(l)
+        for k in pi.kernel_profile():
+            assert k.parallelism == 20.0
+
+
+class TestJacobi:
+    def test_exact_after_n_sweeps(self, rng):
+        ld, l = random_lower(20, seed=18)
+        b = rng.standard_normal(20)
+        got = JacobiTriangular(l, sweeps=20, damping=1.0).solve(b)
+        np.testing.assert_allclose(ld @ got, b, atol=1e-8)
+
+    def test_residual_decreases_with_sweeps(self, rng):
+        ld, l = random_lower(30, seed=19)
+        b = rng.standard_normal(30)
+        res = []
+        for s in (0, 2, 5, 10):
+            x = JacobiTriangular(l, sweeps=s).solve(b)
+            res.append(np.linalg.norm(ld @ x - b))
+        assert res[-1] < res[0]
+        assert res[2] < res[1]
+
+    def test_unit_diagonal_strict_storage(self, rng):
+        ld, _ = random_lower(15, seed=20, unit=True)
+        strict = CsrMatrix.from_dense(np.tril(ld, -1))
+        got = JacobiTriangular(strict, sweeps=15, unit_diagonal=True, damping=1.0).solve(np.ones(15))
+        np.testing.assert_allclose(ld @ got, np.ones(15), atol=1e-9)
+
+    def test_negative_sweeps_rejected(self):
+        _, l = random_lower(5, seed=21)
+        with pytest.raises(ValueError):
+            JacobiTriangular(l, sweeps=-1)
+
+    def test_profile_one_kernel_per_sweep(self):
+        _, l = random_lower(10, seed=22)
+        jt = JacobiTriangular(l, sweeps=4)
+        prof = jt.kernel_profile()
+        assert sum(1 for k in prof if "sweep" in k.name) == 4
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 25), seed=st.integers(0, 1000))
+def test_property_all_exact_solvers_agree(n, seed):
+    """Level-set, partitioned-inverse and substitution are numerically
+    equivalent on the same factor (the paper's Section VIII-A claim)."""
+    ld, l = random_lower(n, seed=seed, density=0.4)
+    b = np.random.default_rng(seed).standard_normal(n)
+    x_sub = solve_lower(l, b)
+    x_lvl = LevelScheduledTriangular(l).solve(b)
+    x_pi = PartitionedInverseTriangular(l).solve(b)
+    np.testing.assert_allclose(x_lvl, x_sub, atol=1e-9)
+    np.testing.assert_allclose(x_pi, x_sub, atol=1e-8)
