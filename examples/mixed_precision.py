@@ -6,56 +6,37 @@ the HalfPrecisionOperator and used inside double-precision GMRES.  The
 paper's finding: iteration counts are essentially unchanged while the
 (memory-bound) preconditioner moves half the bytes.
 
+With the SolverSession facade the whole comparison is one config knob:
+``SchwarzConfig(precision="single")``.
+
 Run:  python examples/mixed_precision.py
 """
 
-import numpy as np
-
-from repro.dd import (
-    Decomposition,
-    GDSWPreconditioner,
-    HalfPrecisionOperator,
-    LocalSolverSpec,
-)
-from repro.dd.precision import round_to_single
-from repro.fem import elasticity_3d, rigid_body_modes
-from repro.krylov import gmres
-from repro.sparse import CsrMatrix
+from repro import LocalSolverSpec, SchwarzConfig, SolverSession
+from repro.fem import elasticity_3d
 
 
 def main() -> None:
     problem = elasticity_3d(10)
-    dec = Decomposition.from_box_partition(problem, 2, 2, 2)
-    nullspace = rigid_body_modes(problem.coordinates)
     spec = LocalSolverSpec(kind="tacho", ordering="nd")
 
-    # double-precision preconditioner
-    m64 = GDSWPreconditioner(dec, nullspace, local_spec=spec)
-    r64 = gmres(problem.a, problem.b, preconditioner=m64, rtol=1e-7, restart=30)
+    results = {}
+    for precision in ("double", "single"):
+        session = SolverSession(
+            problem,
+            partition=(2, 2, 2),
+            config=SchwarzConfig(local=spec, precision=precision),
+        )
+        results[precision] = session.solve()
 
-    # single-precision preconditioner: factor the float32-rounded matrix
-    # and cast vectors on the way in/out (HalfPrecisionOperator)
-    a32 = CsrMatrix(
-        problem.a.indptr, problem.a.indices, round_to_single(problem.a.data),
-        problem.a.shape,
-    )
-    dec32 = Decomposition(a32, 3, dec.node_parts, dec.graph)
-    m32 = HalfPrecisionOperator(
-        GDSWPreconditioner(dec32, nullspace, local_spec=spec)
-    )
-    r32 = gmres(problem.a, problem.b, preconditioner=m32, rtol=1e-7, restart=30)
-
-    for tag, res in (("double", r64), ("single", r32)):
-        relres = np.linalg.norm(
-            problem.a.matvec(res.x) - problem.b
-        ) / np.linalg.norm(problem.b)
+    for tag, res in results.items():
         print(
             f"{tag:7s} precision preconditioner: {res.iterations:3d} iterations, "
-            f"converged={res.converged}, true relres={relres:.2e}"
+            f"converged={res.converged}, true relres={res.final_relres:.2e}"
         )
 
-    setup64 = m64.rank_setup_profile(0).total_bytes
-    setup32 = m32.rank_setup_profile(0).total_bytes
+    setup64 = results["double"].precond.rank_setup_profile(0).total_bytes
+    setup32 = results["single"].precond.rank_setup_profile(0).total_bytes
     print(
         f"\nrank-0 setup memory traffic: {setup64 / 1e6:.2f} MB (double) vs "
         f"{setup32 / 1e6:.2f} MB (single) -> {setup64 / setup32:.1f}x less data"

@@ -1,15 +1,13 @@
 #!/usr/bin/env python
 """Quickstart: solve a 3D elasticity problem with a GDSW-preconditioned
-single-reduce GMRES -- the paper's core solver configuration.
+single-reduce GMRES -- the paper's core solver configuration -- through
+the SolverSession facade.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro.dd import Decomposition, GDSWPreconditioner, LocalSolverSpec
-from repro.fem import elasticity_3d, rigid_body_modes
-from repro.krylov import ReduceCounter, gmres
+from repro import KrylovConfig, LocalSolverSpec, SchwarzConfig, SolverSession, gmres
+from repro.fem import elasticity_3d
 
 
 def main() -> None:
@@ -18,46 +16,44 @@ def main() -> None:
     problem = elasticity_3d(10)
     print(f"assembled 3D elasticity: n = {problem.a.n_rows}, nnz = {problem.a.nnz}")
 
-    # 2. Decompose the mesh nodes into 2 x 2 x 2 subdomains (one per
-    #    "MPI rank") and provide the Neumann null space (rigid-body modes).
-    dec = Decomposition.from_box_partition(problem, 2, 2, 2)
-    nullspace = rigid_body_modes(problem.coordinates)
-    print(f"decomposed into {dec.n_subdomains} subdomains")
+    # 2. One session = problem + partition + configuration.  The partition
+    #    decomposes the mesh into 2 x 2 x 2 subdomains (one per "MPI
+    #    rank"); the rigid-body null space is picked automatically for
+    #    3-dof problems.  Every option is validated at construction.
+    session = SolverSession(
+        problem,
+        partition=(2, 2, 2),
+        config=SchwarzConfig(
+            local=LocalSolverSpec(kind="tacho", ordering="nd"),
+            overlap=1,
+            variant="rgdsw",
+        ),
+        krylov=KrylovConfig(rtol=1e-7, restart=30, variant="single_reduce"),
+    )
 
-    # 3. Build the two-level Schwarz preconditioner: algebraic overlap 1,
-    #    reduced GDSW coarse space, Tacho-style multifrontal local solves.
-    m = GDSWPreconditioner(
-        dec,
-        nullspace,
-        local_spec=LocalSolverSpec(kind="tacho", ordering="nd"),
-        overlap=1,
-        variant="rgdsw",
-    )
-    print(f"coarse space dimension: {m.n_coarse}")
-
-    # 4. Solve with the paper's Krylov configuration: single-reduce
-    #    GMRES(30), relative tolerance 1e-7.
-    reducer = ReduceCounter()
-    result = gmres(
-        problem.a,
-        problem.b,
-        preconditioner=m,
-        rtol=1e-7,
-        restart=30,
-        variant="single_reduce",
-        reducer=reducer,
-    )
-    relres = np.linalg.norm(problem.a.matvec(result.x) - problem.b) / np.linalg.norm(
-        problem.b
-    )
+    # 3. solve() builds the two-level Schwarz preconditioner and runs the
+    #    paper's Krylov configuration (single-reduce GMRES(30), 1e-7)
+    #    under a tracer.
+    result = session.solve()
+    print(f"decomposed into {result.n_ranks} subdomains")
+    print(f"coarse space dimension: {result.n_coarse}")
     print(
         f"GMRES: {result.iterations} iterations, converged={result.converged}, "
-        f"true relative residual = {relres:.2e}"
+        f"true relative residual = {result.final_relres:.2e}"
     )
     print(
-        f"global reductions: {reducer.count} "
-        f"({reducer.count / result.iterations:.2f} per iteration)"
+        f"global reductions: {result.reduces} "
+        f"({result.reduces / result.iterations:.2f} per iteration)"
     )
+
+    # 4. The trace that recorded those reductions also yields the
+    #    wall-time phase breakdown and a Chrome-loadable timeline
+    #    (chrome://tracing or https://ui.perfetto.dev).
+    print()
+    print(result.phase_table())
+    with open("quickstart_trace.json", "w") as fh:
+        fh.write(result.chrome_trace_json())
+    print("\nwrote quickstart_trace.json (open in chrome://tracing)")
 
     # 5. Compare against unpreconditioned GMRES.
     plain = gmres(problem.a, problem.b, rtol=1e-7, restart=30, maxiter=3000)

@@ -9,7 +9,20 @@ triangular-solve variants, single-reduce GMRES) -- plus a calibrated
 Summit-node performance model that regenerates the paper's tables
 without GPU hardware.
 
-Quick start::
+Quick start (the :class:`~repro.api.SolverSession` facade)::
+
+    from repro import SolverSession, SchwarzConfig, LocalSolverSpec, elasticity_3d
+
+    problem = elasticity_3d(10)
+    result = SolverSession(
+        problem,
+        partition=(2, 2, 2),
+        config=SchwarzConfig(local=LocalSolverSpec(kind="tacho")),
+    ).solve()
+    print(result.iterations, result.reduces)
+    print(result.phase_table())
+
+The layered entry points remain available::
 
     from repro import (
         elasticity_3d, rigid_body_modes, Decomposition,
@@ -28,6 +41,12 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for the
 paper-versus-measured results.
 """
 
+from repro.api import (
+    KrylovConfig,
+    SchwarzConfig,
+    SessionResult,
+    SolverSession,
+)
 from repro.dd import (
     Decomposition,
     GDSWPreconditioner,
@@ -45,7 +64,8 @@ from repro.fem import (
     translations_only,
 )
 from repro.krylov import ReduceCounter, cg, gmres
-from repro.runtime import JobLayout, SolverTimings, time_solver
+from repro.obs import Tracer, get_tracer, use_tracer
+from repro.runtime import JobLayout, SolverTimings, time_solver, trace_solver
 from repro.sparse import CsrMatrix
 
 __version__ = "1.0.0"
@@ -56,19 +76,27 @@ __all__ = [
     "GDSWPreconditioner",
     "HalfPrecisionOperator",
     "JobLayout",
+    "KrylovConfig",
     "LocalSolverSpec",
     "OneLevelSchwarz",
     "ReduceCounter",
+    "SchwarzConfig",
+    "SessionResult",
+    "SolverSession",
     "SolverTimings",
     "StructuredGrid",
+    "Tracer",
     "__version__",
     "cg",
     "constant_nullspace",
     "elasticity_3d",
+    "get_tracer",
     "gmres",
     "laplace_2d",
     "laplace_3d",
     "rigid_body_modes",
     "time_solver",
+    "trace_solver",
     "translations_only",
+    "use_tracer",
 ]

@@ -1,0 +1,361 @@
+"""The unified solver facade: one validated entry point for the stack.
+
+The scattered seed-era flow --
+
+    dec = Decomposition.from_box_partition(problem, 2, 2, 2)
+    m = GDSWPreconditioner(dec, rigid_body_modes(problem.coordinates),
+                           local_spec=LocalSolverSpec(...), overlap=1, ...)
+    red = ReduceCounter()
+    res = gmres(problem.a, problem.b, preconditioner=m, rtol=..., reducer=red)
+
+-- collapses to::
+
+    from repro import SolverSession, SchwarzConfig, KrylovConfig
+
+    result = SolverSession(
+        problem,
+        partition=(2, 2, 2),
+        config=SchwarzConfig(local=LocalSolverSpec(kind="tacho")),
+        krylov=KrylovConfig(rtol=1e-7, restart=30),
+    ).solve()
+    result.x, result.iterations, result.reduces
+    print(result.phase_table())
+    open("trace.json", "w").write(result.chrome_trace_json())
+    timings = result.timings(JobLayout.gpu_run(1, 4))   # paper tables
+
+Every option is validated at *construction* with an error that lists
+the valid values, and every solve runs under a
+:class:`~repro.obs.tracer.Tracer`, so the full observability surface
+(span tree, reduction counters, Chrome trace, phase tables) comes for
+free.  The old entry points keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.dd.decomposition import Decomposition
+from repro.dd.local_solvers import LocalSolverSpec
+from repro.dd.precision import HalfPrecisionOperator, round_to_single
+from repro.dd.two_level import GDSWPreconditioner
+from repro.fem import constant_nullspace, rigid_body_modes
+from repro.krylov import cg, gmres, pipelined_cg
+from repro.krylov.gmres import GMRES_VARIANTS
+from repro.obs import Span, Tracer, use_tracer
+from repro.obs.export import chrome_trace_json, phase_table, to_jsonl
+from repro.sparse.csr import CsrMatrix
+
+__all__ = [
+    "SchwarzConfig",
+    "KrylovConfig",
+    "SolverSession",
+    "SessionResult",
+    "COARSE_VARIANTS",
+    "KRYLOV_METHODS",
+    "PRECISIONS",
+]
+
+#: valid coarse-space variants of :class:`SchwarzConfig`
+COARSE_VARIANTS = ("rgdsw", "gdsw", "agdsw")
+#: valid Krylov methods of :class:`KrylovConfig`
+KRYLOV_METHODS = ("gmres", "cg", "pipelined_cg")
+#: valid working precisions of :class:`SchwarzConfig`
+PRECISIONS = ("double", "single")
+_COARSE_SOLVERS = ("direct", "multilevel")
+
+
+def _check(value: str, valid: Tuple[str, ...], what: str) -> None:
+    if value not in valid:
+        raise ValueError(
+            f"unknown {what} {value!r}; valid values: "
+            + ", ".join(repr(v) for v in valid)
+        )
+
+
+@dataclass(frozen=True)
+class SchwarzConfig:
+    """Preconditioner options (one validated object instead of kwargs).
+
+    Attributes
+    ----------
+    local:
+        Local subdomain solver (validated by
+        :class:`~repro.dd.local_solvers.LocalSolverSpec` itself).
+    coarse:
+        Coarse-matrix solver; None selects the GDSW default (Tacho,
+        natural ordering).
+    overlap:
+        Algebraic overlap layers (paper: 1).
+    variant:
+        Coarse space: ``"rgdsw"`` (paper), ``"gdsw"`` or ``"agdsw"``.
+    precision:
+        ``"double"`` or ``"single"`` (HalfPrecisionOperator wrapping).
+    dim:
+        Spatial dimension for interface classification.
+    adaptive_tol:
+        AGDSW eigenvalue threshold (``variant="agdsw"`` only).
+    coarse_solver:
+        ``"direct"`` or ``"multilevel"`` (the three-level method).
+    multilevel_parts:
+        Second-level subdomain count for ``coarse_solver="multilevel"``.
+    """
+
+    local: LocalSolverSpec = field(default_factory=LocalSolverSpec)
+    coarse: Optional[LocalSolverSpec] = None
+    overlap: int = 1
+    variant: str = "rgdsw"
+    precision: str = "double"
+    dim: int = 3
+    adaptive_tol: float = 1e-2
+    coarse_solver: str = "direct"
+    multilevel_parts: int = 4
+
+    def __post_init__(self) -> None:
+        _check(self.variant, COARSE_VARIANTS, "coarse-space variant")
+        _check(self.precision, PRECISIONS, "precision")
+        _check(self.coarse_solver, _COARSE_SOLVERS, "coarse solver")
+        if self.overlap < 0:
+            raise ValueError(f"overlap must be >= 0, got {self.overlap}")
+
+    def describe(self) -> str:
+        """One-line summary used by trace annotations and tables."""
+        return (
+            f"{self.variant} overlap={self.overlap} "
+            f"local=[{self.local.describe()}] {self.precision}"
+        )
+
+
+@dataclass(frozen=True)
+class KrylovConfig:
+    """Krylov options (paper defaults: single-reduce GMRES(30), 1e-7).
+
+    Attributes
+    ----------
+    method:
+        ``"gmres"`` (paper), ``"cg"`` or ``"pipelined_cg"``.
+    variant:
+        GMRES orthogonalization: ``"mgs"``, ``"cgs"`` or
+        ``"single_reduce"`` (ignored by the CG methods).
+    rtol, restart, maxiter:
+        Convergence tolerance, GMRES cycle length, iteration cap.
+    """
+
+    method: str = "gmres"
+    variant: str = "single_reduce"
+    rtol: float = 1e-7
+    restart: int = 30
+    maxiter: int = 1000
+
+    def __post_init__(self) -> None:
+        _check(self.method, KRYLOV_METHODS, "Krylov method")
+        _check(self.variant, GMRES_VARIANTS, "GMRES variant")
+        if self.rtol <= 0:
+            raise ValueError(f"rtol must be positive, got {self.rtol}")
+        if self.restart < 1:
+            raise ValueError(f"restart must be >= 1, got {self.restart}")
+        if self.maxiter < 1:
+            raise ValueError(f"maxiter must be >= 1, got {self.maxiter}")
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one :meth:`SolverSession.solve`.
+
+    Numerics (``x``, ``iterations``, ...) plus the run's wall-time
+    trace and accessors deriving every paper-style artifact from it.
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: List[float]
+    reduces: int
+    reduce_doubles: int
+    final_relres: float
+    n_coarse: int
+    n_ranks: int
+    precond: object
+    trace: Span
+
+    def timings(self, layout):
+        """Price this run under a :class:`~repro.runtime.layout.JobLayout`.
+
+        Returns the :class:`~repro.runtime.timings.SolverTimings` the
+        paper tabulates; its ``.trace`` attribute holds the priced span
+        tree (render with :func:`repro.obs.phase_table`).
+        """
+        from repro.runtime.timings import time_solver
+
+        return time_solver(
+            self.precond, layout, self.iterations, self.reduces,
+            self.reduce_doubles,
+        )
+
+    def chrome_trace_json(self) -> str:
+        """The wall-time trace in Chrome ``chrome://tracing`` format."""
+        return chrome_trace_json(self.trace)
+
+    def jsonl(self) -> str:
+        """The wall-time trace as a JSON-lines event stream."""
+        return to_jsonl(self.trace)
+
+    def phase_table(self, title: str = "solver phases (wall time)") -> str:
+        """Paper-style phase table of the wall-time trace."""
+        return phase_table(self.trace, title=title)
+
+
+class SolverSession:
+    """One problem + partition + configuration, solved under a tracer.
+
+    Parameters
+    ----------
+    problem:
+        An assembled problem (:func:`repro.fem.elasticity_3d`,
+        :func:`repro.fem.laplace_3d`, ...): needs ``a``, ``b``,
+        ``coordinates`` and ``dofs_per_node``.
+    partition:
+        Subdomain box ``(px, py, pz)`` -- one subdomain per model rank.
+    config:
+        :class:`SchwarzConfig` (defaults to the paper configuration).
+    krylov:
+        :class:`KrylovConfig` (defaults to single-reduce GMRES(30)).
+    nullspace:
+        Neumann null space override; by default rigid-body modes for
+        3-dof problems, constants for scalar problems.
+    tracer:
+        A :class:`~repro.obs.tracer.Tracer` to record into (a fresh one
+        per solve by default).
+    """
+
+    def __init__(
+        self,
+        problem,
+        partition: Tuple[int, int, int] = (2, 2, 2),
+        config: Optional[SchwarzConfig] = None,
+        krylov: Optional[KrylovConfig] = None,
+        nullspace: Optional[np.ndarray] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        for attr in ("a", "b"):
+            if not hasattr(problem, attr):
+                raise TypeError(
+                    f"problem must expose '{attr}' (got {type(problem).__name__})"
+                )
+        partition = tuple(int(p) for p in partition)
+        if len(partition) != 3 or any(p < 1 for p in partition):
+            raise ValueError(
+                f"partition must be a (px, py, pz) triple of positive "
+                f"integers, got {partition!r}"
+            )
+        self.problem = problem
+        self.partition = partition
+        self.config = config or SchwarzConfig()
+        self.krylov = krylov or KrylovConfig()
+        self._nullspace = nullspace
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    def nullspace(self) -> np.ndarray:
+        """The Neumann null space used for the coarse basis."""
+        if self._nullspace is not None:
+            return self._nullspace
+        if getattr(self.problem, "dofs_per_node", 1) == 3:
+            return rigid_body_modes(self.problem.coordinates)
+        return constant_nullspace(self.problem.a.n_rows)
+
+    def build_preconditioner(self):
+        """Build the (possibly precision-wrapped) preconditioner only."""
+        cfg = self.config
+        problem = self.problem
+        if cfg.precision == "single":
+            import copy
+
+            a = problem.a
+            a32 = CsrMatrix(
+                a.indptr.copy(), a.indices.copy(), round_to_single(a.data),
+                a.shape,
+            )
+            problem = copy.copy(problem)
+            problem.a = a32
+        dec = Decomposition.from_box_partition(problem, *self.partition)
+        precond = GDSWPreconditioner(
+            dec,
+            self.nullspace(),
+            local_spec=cfg.local,
+            coarse_spec=cfg.coarse,
+            overlap=cfg.overlap,
+            variant=cfg.variant,
+            dim=cfg.dim,
+            adaptive_tol=cfg.adaptive_tol,
+            coarse_solver=cfg.coarse_solver,
+            multilevel_parts=cfg.multilevel_parts,
+        )
+        if cfg.precision == "single":
+            return HalfPrecisionOperator(precond)
+        return precond
+
+    def solve(self) -> SessionResult:
+        """Build the preconditioner and run the Krylov solve, traced."""
+        kry = self.krylov
+        problem = self.problem
+        tracer = self.tracer or Tracer()
+        with use_tracer(tracer):
+            with tracer.span("setup") as sp:
+                sp.annotate(config=self.config.describe(),
+                            partition=str(self.partition))
+                operator = self.build_preconditioner()
+
+            with tracer.span("krylov") as sp:
+                sp.annotate(method=kry.method)
+                # the Krylov iteration always runs in working (double)
+                # precision on the unrounded operator
+                if kry.method == "gmres":
+                    res = gmres(
+                        problem.a,
+                        problem.b,
+                        preconditioner=operator,
+                        rtol=kry.rtol,
+                        restart=kry.restart,
+                        maxiter=kry.maxiter,
+                        variant=kry.variant,
+                    )
+                elif kry.method == "cg":
+                    res = cg(
+                        problem.a,
+                        problem.b,
+                        preconditioner=operator,
+                        rtol=kry.rtol,
+                        maxiter=kry.maxiter,
+                    )
+                else:
+                    res = pipelined_cg(
+                        problem.a,
+                        problem.b,
+                        preconditioner=operator,
+                        rtol=kry.rtol,
+                        maxiter=kry.maxiter,
+                    )
+        tracer.finish()
+
+        relres = float(
+            np.linalg.norm(problem.a.matvec(res.x) - problem.b)
+            / max(np.linalg.norm(problem.b), 1e-300)
+        )
+        inner = operator.inner if isinstance(operator, HalfPrecisionOperator) \
+            else operator
+        return SessionResult(
+            x=res.x,
+            iterations=res.iterations,
+            converged=res.converged,
+            residual_norms=res.residual_norms,
+            reduces=tracer.reduces,
+            reduce_doubles=tracer.reduce_doubles,
+            final_relres=relres,
+            n_coarse=inner.n_coarse,
+            n_ranks=inner.dec.n_subdomains,
+            precond=operator,
+            trace=tracer.root,
+        )

@@ -15,9 +15,8 @@ subdomain in a regime where the local solver cost is superlinear.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.bench.harness import (
     NumericsRecord,
@@ -32,7 +31,6 @@ from repro.bench.harness import (
 from repro.bench.tables import format_cell, format_table
 from repro.dd.local_solvers import LocalSolverSpec
 from repro.runtime.layout import JobLayout
-from repro.runtime.pricing import price_families
 
 __all__ = [
     "WEAK_NODES",

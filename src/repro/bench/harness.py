@@ -12,8 +12,9 @@ from repro.dd.local_solvers import LocalSolverSpec
 from repro.dd.precision import HalfPrecisionOperator, round_to_single
 from repro.dd.two_level import GDSWPreconditioner
 from repro.fem import elasticity_3d, rigid_body_modes
-from repro.krylov import ReduceCounter, gmres
+from repro.krylov import gmres
 from repro.machine.spec import CpuSpec, GpuSpec, MachineSpec
+from repro.obs import Tracer, use_tracer
 from repro.runtime.layout import JobLayout
 from repro.runtime.timings import SolverTimings, time_solver
 from repro.sparse.csr import CsrMatrix
@@ -113,7 +114,12 @@ class RunConfig:
 
 @dataclass
 class NumericsRecord:
-    """Cached outcome of one numerics run."""
+    """Cached outcome of one numerics run.
+
+    ``trace`` is the wall-time span tree of the run (setup + solve);
+    ``reduces``/``reduce_doubles`` are read from its counters (the
+    successor of the deprecated ``ReduceCounter`` plumbing).
+    """
 
     precond: object
     iterations: int
@@ -124,6 +130,7 @@ class NumericsRecord:
     n_coarse: int
     n_ranks: int
     final_relres: float
+    trace: object = field(default=None, repr=False, compare=False)
 
 
 _NUMERICS_CACHE: Dict[Tuple, NumericsRecord] = {}
@@ -175,29 +182,35 @@ def run_numerics(
         problem_used = problem
     dec = Decomposition.from_box_partition(problem_used, *parts)
 
-    precond = GDSWPreconditioner(
-        dec,
-        z,
-        local_spec=config.local,
-        overlap=config.overlap,
-        variant=config.variant,
-        dim=3,
-    )
-    operator: object = precond
-    if config.precision == "single":
-        operator = HalfPrecisionOperator(precond)
+    # run setup + solve under a tracer: the trace carries the reduction
+    # counters (formerly a hand-carried ReduceCounter) and the wall-time
+    # span tree of every instrumented phase
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span("setup"):
+            precond = GDSWPreconditioner(
+                dec,
+                z,
+                local_spec=config.local,
+                overlap=config.overlap,
+                variant=config.variant,
+                dim=3,
+            )
+            operator: object = precond
+            if config.precision == "single":
+                operator = HalfPrecisionOperator(precond)
 
-    red = ReduceCounter()
-    res = gmres(
-        problem.a,  # GMRES always runs in the working (double) precision
-        problem.b,
-        preconditioner=operator,
-        rtol=config.rtol,
-        restart=config.restart,
-        maxiter=config.maxiter,
-        variant=config.gmres_variant,
-        reducer=red,
-    )
+        with tracer.span("krylov"):
+            res = gmres(
+                problem.a,  # GMRES always runs in the working (double) precision
+                problem.b,
+                preconditioner=operator,
+                rtol=config.rtol,
+                restart=config.restart,
+                maxiter=config.maxiter,
+                variant=config.gmres_variant,
+            )
+    tracer.finish()
     relres = float(
         np.linalg.norm(problem.a.matvec(res.x) - problem.b)
         / max(np.linalg.norm(problem.b), 1e-300)
@@ -206,12 +219,13 @@ def run_numerics(
         precond=operator,
         iterations=res.iterations,
         converged=res.converged,
-        reduces=red.count,
-        reduce_doubles=red.doubles,
+        reduces=tracer.reduces,
+        reduce_doubles=tracer.reduce_doubles,
         n=problem.a.n_rows,
         n_coarse=precond.n_coarse,
         n_ranks=dec.n_subdomains,
         final_relres=relres,
+        trace=tracer.root,
     )
     _NUMERICS_CACHE[key] = rec
     return rec

@@ -11,7 +11,7 @@ fallback for matrices without grid information).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List
 
 import numpy as np
 

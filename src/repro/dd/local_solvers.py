@@ -22,14 +22,27 @@ GPU-vs-CPU pairing follows Section VIII-A exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 import numpy as np
 
 from repro.machine.kernels import KernelProfile
 from repro.sparse.csr import CsrMatrix
 
-__all__ = ["LocalSolverSpec", "FactoredLocal"]
+__all__ = ["LocalSolverSpec", "FactoredLocal", "SOLVER_KINDS", "ORDERINGS"]
+
+#: valid local-solver kinds (Table I of the paper)
+SOLVER_KINDS = ("superlu", "tacho", "iluk", "fastilu")
+#: valid fill-reducing orderings (aliases accepted by repro.ordering)
+ORDERINGS = (
+    "nd",
+    "nested_dissection",
+    "metis",
+    "natural",
+    "no",
+    "none",
+    "rcm",
+    "amd",
+)
 
 
 @dataclass(frozen=True)
@@ -68,12 +81,38 @@ class LocalSolverSpec:
     gpu_solve: bool = False
 
     def __post_init__(self) -> None:
-        if self.kind not in ("superlu", "tacho", "iluk", "fastilu"):
-            raise ValueError(f"unknown local solver kind {self.kind!r}")
+        if self.kind not in SOLVER_KINDS:
+            raise ValueError(
+                f"unknown local solver kind {self.kind!r}; valid kinds: "
+                + ", ".join(repr(k) for k in SOLVER_KINDS)
+            )
+        if self.ordering not in ORDERINGS:
+            raise ValueError(
+                f"unknown ordering {self.ordering!r}; valid orderings: "
+                + ", ".join(repr(o) for o in ORDERINGS)
+            )
 
     def with_gpu(self, gpu_solve: bool) -> "LocalSolverSpec":
         """Copy with the GPU pairing switched."""
         return replace(self, gpu_solve=gpu_solve)
+
+    def describe(self) -> str:
+        """One-line human description, used by trace/table output.
+
+        Examples: ``"tacho (nd, cpu solve)"``,
+        ``"iluk(1) (natural, gpu solve)"``,
+        ``"fastilu(1, 3/5 sweeps) (nd, gpu solve)"``.
+        """
+        name = self.kind
+        if self.kind == "iluk":
+            name = f"iluk({self.ilu_level})"
+        elif self.kind == "fastilu":
+            name = (
+                f"fastilu({self.ilu_level}, "
+                f"{self.factor_sweeps}/{self.solve_sweeps} sweeps)"
+            )
+        space = "gpu" if self.gpu_solve else "cpu"
+        return f"{name} ({self.ordering}, {space} solve)"
 
     def build(self, a: CsrMatrix) -> "FactoredLocal":
         """Factor one subdomain matrix according to this spec."""

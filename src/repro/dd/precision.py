@@ -17,11 +17,10 @@ the byte counts of every kernel profile.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
 
 import numpy as np
 
-from repro.machine.kernels import Kernel, KernelProfile
+from repro.machine.kernels import KernelProfile
 
 __all__ = ["HalfPrecisionOperator", "round_to_single"]
 

@@ -9,7 +9,7 @@ cures (and which our ablation benches demonstrate).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -17,6 +17,7 @@ from repro.dd.decomposition import Decomposition
 from repro.dd.local_solvers import FactoredLocal, LocalSolverSpec
 from repro.dd.overlap import overlapping_subdomains
 from repro.machine.kernels import KernelProfile
+from repro.obs import get_tracer
 from repro.sparse.blocks import extract_submatrix
 from repro.sparse.csr import CsrMatrix
 
@@ -63,17 +64,22 @@ class OneLevelSchwarz:
         self.overlap = overlap
         self.restricted = restricted
 
-        node_sets = overlapping_subdomains(dec, overlap)
-        self.node_sets = node_sets
-        self.dof_sets: List[np.ndarray] = [
-            dec.dofs_of_nodes(ns) for ns in node_sets
-        ]
+        tr = get_tracer()
+        with tr.span("setup/overlap") as sp:
+            sp.annotate(overlap=overlap)
+            node_sets = overlapping_subdomains(dec, overlap)
+            self.node_sets = node_sets
+            self.dof_sets: List[np.ndarray] = [
+                dec.dofs_of_nodes(ns) for ns in node_sets
+            ]
         self.locals: List[FactoredLocal] = []
         self.matrices: List[CsrMatrix] = []
-        for dofs in self.dof_sets:
-            a_i = extract_submatrix(dec.a, dofs, dofs)
-            self.matrices.append(a_i)
-            self.locals.append(spec.build(a_i))
+        for rank, dofs in enumerate(self.dof_sets):
+            with tr.span("setup/local_factor", rank=rank) as sp:
+                sp.annotate(solver=spec.describe(), n=int(dofs.size))
+                a_i = extract_submatrix(dec.a, dofs, dofs)
+                self.matrices.append(a_i)
+                self.locals.append(spec.build(a_i))
 
         # halo sizes: dofs in the overlapping set not owned by the rank
         self.halo_doubles = []
@@ -99,13 +105,15 @@ class OneLevelSchwarz:
 
     def apply(self, v: np.ndarray) -> np.ndarray:
         """Apply ``sum_i R_i^T (D_i) A_i^{-1} R_i v``."""
-        out = np.zeros_like(np.asarray(v, dtype=np.float64))
-        for rank, dofs in enumerate(self.dof_sets):
-            x_i = self.locals[rank].apply(v[dofs])
-            if self._weights is not None:
-                x_i = x_i * self._weights[rank]
-            np.add.at(out, dofs, x_i)
-        return out
+        with get_tracer().span("apply/local_solve") as sp:
+            sp.count("local_solves", float(len(self.dof_sets)))
+            out = np.zeros_like(np.asarray(v, dtype=np.float64))
+            for rank, dofs in enumerate(self.dof_sets):
+                x_i = self.locals[rank].apply(v[dofs])
+                if self._weights is not None:
+                    x_i = x_i * self._weights[rank]
+                np.add.at(out, dofs, x_i)
+            return out
 
     # ------------------------------------------------------------------
     def rank_solve_profile(self, rank: int) -> KernelProfile:

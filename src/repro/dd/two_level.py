@@ -18,7 +18,7 @@ the paper's time tables.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.dd.interface import analyze_interface
 from repro.dd.local_solvers import LocalSolverSpec
 from repro.dd.schwarz import OneLevelSchwarz
 from repro.machine.kernels import KernelProfile
+from repro.obs import get_tracer
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.spgemm import spgemm, spgemm_flops
 
@@ -96,21 +97,26 @@ class GDSWPreconditioner:
         self.local_spec = local_spec
         self.variant = variant
 
+        tr = get_tracer()
+
         # ---- one-level part ----
         self.one_level = OneLevelSchwarz(dec, local_spec, overlap=overlap)
 
         # ---- coarse level ----
-        self.analysis = analyze_interface(dec, dim=dim)
-        if variant == "agdsw":
-            from repro.dd.adaptive import build_adaptive_coarse_space
+        with tr.span("setup/coarse_basis") as sp:
+            sp.annotate(variant=variant)
+            self.analysis = analyze_interface(dec, dim=dim)
+            if variant == "agdsw":
+                from repro.dd.adaptive import build_adaptive_coarse_space
 
-            self.space: CoarseSpace = build_adaptive_coarse_space(
-                dec, self.analysis, nullspace, tol=adaptive_tol
-            )
-        else:
-            self.space = build_coarse_space(
-                dec, self.analysis, nullspace, variant=variant
-            )
+                self.space: CoarseSpace = build_adaptive_coarse_space(
+                    dec, self.analysis, nullspace, tol=adaptive_tol
+                )
+            else:
+                self.space = build_coarse_space(
+                    dec, self.analysis, nullspace, variant=variant
+                )
+            sp.count("coarse_dim", float(self.space.n_coarse))
 
         def _ext_factory():
             from repro.direct import direct_solver
@@ -120,28 +126,38 @@ class GDSWPreconditioner:
 
         self._ext_rank_profiles: List[KernelProfile]
         if self.space.n_coarse > 0:
-            phi, ext_spgemm, ext_ranks = energy_minimizing_extension(
-                dec, self.analysis, self.space, _ext_factory
-            )
+            with tr.span("setup/coarse_basis") as sp:
+                phi, ext_spgemm, ext_ranks = energy_minimizing_extension(
+                    dec, self.analysis, self.space, _ext_factory
+                )
+                sp.add_profile(ext_spgemm)
             self.phi: Optional[CsrMatrix] = phi
             self._ext_spgemm = ext_spgemm
             self._ext_rank_profiles = ext_ranks
             # A0 = Phi^T A Phi
-            at_phi = spgemm(dec.a, phi)
-            self._a0_flops = spgemm_flops(dec.a, phi)
-            phi_t = phi.transpose()
-            self.a0 = spgemm(phi_t, at_phi)
-            self._a0_flops += spgemm_flops(phi_t, at_phi)
-            if coarse_solver == "multilevel" and self.a0.n_rows > multilevel_parts:
-                from repro.dd.multilevel import MultilevelCoarseSolver
+            with tr.span("setup/spgemm") as sp:
+                at_phi = spgemm(dec.a, phi)
+                self._a0_flops = spgemm_flops(dec.a, phi)
+                phi_t = phi.transpose()
+                self.a0 = spgemm(phi_t, at_phi)
+                self._a0_flops += spgemm_flops(phi_t, at_phi)
+                sp.count("flops", float(self._a0_flops))
+                sp.count("nnz", float(self.a0.nnz))
+            with tr.span("setup/coarse_factor") as sp:
+                sp.annotate(n_coarse=int(self.space.n_coarse))
+                if (
+                    coarse_solver == "multilevel"
+                    and self.a0.n_rows > multilevel_parts
+                ):
+                    from repro.dd.multilevel import MultilevelCoarseSolver
 
-                self.coarse = MultilevelCoarseSolver(
-                    self.a0,
-                    n_parts=multilevel_parts,
-                    n_null=np.atleast_2d(nullspace).shape[1],
-                )
-            else:
-                self.coarse = coarse_spec.build(self.a0)
+                    self.coarse = MultilevelCoarseSolver(
+                        self.a0,
+                        n_parts=multilevel_parts,
+                        n_null=np.atleast_2d(nullspace).shape[1],
+                    )
+                else:
+                    self.coarse = coarse_spec.build(self.a0)
         else:  # single subdomain: no interface, pure one-level
             self.phi = None
             self.a0 = None
@@ -174,9 +190,11 @@ class GDSWPreconditioner:
         v = np.asarray(v, dtype=np.float64)
         out = self.one_level.apply(v)
         if self.phi is not None:
-            vc = self.phi.rmatvec(v)
-            xc = self.coarse.apply(vc)
-            out = out + self.phi.matvec(xc)
+            with get_tracer().span("apply/coarse_solve") as sp:
+                sp.count("coarse_dim", float(self.n_coarse))
+                vc = self.phi.rmatvec(v)
+                xc = self.coarse.apply(vc)
+                out = out + self.phi.matvec(xc)
         return out
 
     # ------------------------------------------------------------------

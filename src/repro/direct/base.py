@@ -9,11 +9,11 @@ numeric and solve phases are the GPU targets.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
 from repro.machine.kernels import KernelProfile
+from repro.obs import get_tracer
 from repro.sparse.csr import CsrMatrix
 
 __all__ = ["DirectSolver", "direct_solver"]
@@ -61,8 +61,16 @@ class DirectSolver:
 
     # -- helpers -------------------------------------------------------
     def factorize(self, a: CsrMatrix) -> "DirectSolver":
-        """Convenience: symbolic followed by numeric."""
-        return self.symbolic(a).numeric(a)
+        """Convenience: symbolic followed by numeric (traced per phase)."""
+        tr = get_tracer()
+        with tr.span("factor/symbolic") as sp:
+            self.symbolic(a)
+            sp.annotate(solver=type(self).__name__)
+            sp.add_profile(self.symbolic_profile)
+        with tr.span("factor/numeric") as sp:
+            self.numeric(a)
+            sp.add_profile(self.numeric_profile)
+        return self
 
     def _require(self, phase: str) -> None:
         if phase == "numeric" and not self._symbolic_done:

@@ -22,7 +22,7 @@ of the single fused GPU kernel.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

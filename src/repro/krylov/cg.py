@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Union
 import numpy as np
 
 from repro.krylov.reduce import ReduceCounter
+from repro.obs import get_tracer
 from repro.sparse.csr import CsrMatrix
 
 __all__ = ["cg", "CgResult"]
@@ -45,19 +46,26 @@ def cg(
 
     Convergence when ``||r|| <= rtol * ||r0||``; two global reductions
     per iteration (the classic count the pipelined variants reduce).
+    ``reducer`` is deprecated -- run under a :class:`repro.obs.Tracer`.
     """
-    from repro.krylov.gmres import _as_apply
+    from repro.krylov.gmres import _as_apply, _deprecated_reducer_warning
 
     apply_a = _as_apply(a)
     if preconditioner is not None and hasattr(preconditioner, "apply"):
         apply_m = preconditioner.apply
     else:
         apply_m = _as_apply(preconditioner)
-    red = ReduceCounter() if reducer is None else reducer
+    tr = get_tracer()
+    if reducer is None:
+        red = tr.reduce_counter()
+    else:
+        _deprecated_reducer_warning("cg")
+        red = reducer
 
     b = np.asarray(b, dtype=np.float64)
     x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
-    r = b - apply_a(x)
+    with tr.span("krylov/spmv"):
+        r = b - apply_a(x)
     z = apply_m(r)
     p = z.copy()
     rz = float(red.allreduce(r @ z)[0])
@@ -69,7 +77,8 @@ def cg(
     it = 0
     converged = False
     while it < maxiter:
-        ap = apply_a(p)
+        with tr.span("krylov/spmv"):
+            ap = apply_a(p)
         pap = float(red.allreduce(p @ ap)[0])
         if pap <= 0.0:
             break  # loss of positive definiteness

@@ -10,17 +10,32 @@ restart 30, rtol 1e-7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
 import numpy as np
 
 from repro.krylov.reduce import ReduceCounter
+from repro.obs import get_tracer
 from repro.sparse.csr import CsrMatrix
 
-__all__ = ["gmres", "GmresResult"]
+__all__ = ["gmres", "GmresResult", "GMRES_VARIANTS"]
 
 Operator = Union[CsrMatrix, Callable[[np.ndarray], np.ndarray]]
+
+#: valid orthogonalization schemes (see the package docstring table)
+GMRES_VARIANTS = ("mgs", "cgs", "single_reduce")
+
+
+def _deprecated_reducer_warning(solver: str) -> None:
+    warnings.warn(
+        f"the bare 'reducer' kwarg on {solver}() is deprecated; run the "
+        "solve under a repro.obs.Tracer (with use_tracer(tracer): ...) and "
+        "read tracer.reduces / tracer.reduce_doubles instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -94,23 +109,32 @@ def gmres(
     variant:
         ``"mgs"``, ``"cgs"`` or ``"single_reduce"``.
     reducer:
-        Reduction counter/pricer; a fresh :class:`ReduceCounter` when
-        None.
+        Deprecated: reduction counter.  Prefer running the solve under a
+        :class:`repro.obs.Tracer`, whose counters absorb this role.
     """
-    if variant not in ("mgs", "cgs", "single_reduce"):
-        raise ValueError(f"unknown GMRES variant {variant!r}")
+    if variant not in GMRES_VARIANTS:
+        raise ValueError(
+            f"unknown GMRES variant {variant!r}; valid variants: "
+            + ", ".join(repr(v) for v in GMRES_VARIANTS)
+        )
     apply_a = _as_apply(a)
     if preconditioner is not None and hasattr(preconditioner, "apply"):
         apply_m = preconditioner.apply
     else:
         apply_m = _as_apply(preconditioner)
-    red = ReduceCounter() if reducer is None else reducer
+    tr = get_tracer()
+    if reducer is None:
+        red = tr.reduce_counter()
+    else:
+        _deprecated_reducer_warning("gmres")
+        red = reducer
 
     b = np.asarray(b, dtype=np.float64)
     n = b.size
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
-    r = b - apply_a(x)
+    with tr.span("krylov/spmv"):
+        r = b - apply_a(x)
     beta0 = float(np.sqrt(red.allreduce(r @ r)[0]))
     residuals = [beta0]
     if beta0 == 0.0:
@@ -123,7 +147,8 @@ def gmres(
 
     while total_iters < maxiter and not converged:
         restarts += 1
-        r = b - apply_a(x)
+        with tr.span("krylov/spmv"):
+            r = b - apply_a(x)
         beta = float(np.sqrt(red.allreduce(r @ r)[0]))
         if beta <= tol_abs:
             converged = True
@@ -141,8 +166,10 @@ def gmres(
         j_used = 0
         for j in range(m):
             z[j] = apply_m(v[j])
-            w = apply_a(z[j])
-            hj, hnext, w = _orthogonalize(variant, v[: j + 1], w, red)
+            with tr.span("krylov/spmv"):
+                w = apply_a(z[j])
+            with tr.span("krylov/orth"):
+                hj, hnext, w = _orthogonalize(variant, v[: j + 1], w, red)
             h[: j + 1, j] = hj
             h[j + 1, j] = hnext
             if hnext > 0:
@@ -179,7 +206,8 @@ def gmres(
             # explicit residual test (Belos-style): the recurrence
             # estimate can be optimistic under lagged-norm CGS; verify
             # against the true residual and keep iterating on failure.
-            r = b - apply_a(x)
+            with tr.span("krylov/spmv"):
+                r = b - apply_a(x)
             true_norm = float(np.sqrt(red.allreduce(r @ r)[0]))
             residuals.append(true_norm)
             converged = true_norm <= tol_abs * (1 + 1e-12)

@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Union
 import numpy as np
 
 from repro.krylov.reduce import ReduceCounter
+from repro.obs import get_tracer
 from repro.sparse.csr import CsrMatrix
 
 __all__ = ["pipelined_cg", "PipelinedCgResult"]
@@ -60,23 +61,31 @@ def pipelined_cg(
 
     One batched global reduction per iteration (classical PCG issues
     two to three); ``replace_every`` controls the residual-replacement
-    period.
+    period.  ``reducer`` is deprecated -- run under a
+    :class:`repro.obs.Tracer`.
     """
-    from repro.krylov.gmres import _as_apply
+    from repro.krylov.gmres import _as_apply, _deprecated_reducer_warning
 
     apply_a = _as_apply(a)
     if preconditioner is not None and hasattr(preconditioner, "apply"):
         apply_m = preconditioner.apply
     else:
         apply_m = _as_apply(preconditioner)
-    red = ReduceCounter() if reducer is None else reducer
+    tr = get_tracer()
+    if reducer is None:
+        red = tr.reduce_counter()
+    else:
+        _deprecated_reducer_warning("pipelined_cg")
+        red = reducer
 
     b = np.asarray(b, dtype=np.float64)
     x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
 
-    r = b - apply_a(x)
+    with tr.span("krylov/spmv"):
+        r = b - apply_a(x)
     u = apply_m(r)
-    w = apply_a(u)
+    with tr.span("krylov/spmv"):
+        w = apply_a(u)
 
     gamma_old = 0.0
     alpha_old = 0.0
@@ -105,7 +114,8 @@ def pipelined_cg(
             break
 
         m_vec = apply_m(w)
-        n_vec = apply_a(m_vec)
+        with tr.span("krylov/spmv"):
+            n_vec = apply_a(m_vec)
 
         if it == 0:
             beta = 0.0
@@ -134,13 +144,16 @@ def pipelined_cg(
 
         if replace_every and it % replace_every == 0:
             # residual replacement: recompute exactly to stop drift
-            r = b - apply_a(x)
+            with tr.span("krylov/spmv"):
+                r = b - apply_a(x)
             u = apply_m(r)
-            w = apply_a(u)
+            with tr.span("krylov/spmv"):
+                w = apply_a(u)
             replacements += 1
 
     # final explicit check (one extra reduce, as in the other solvers)
-    r = b - apply_a(x)
+    with tr.span("krylov/spmv"):
+        r = b - apply_a(x)
     final = float(np.sqrt(red.allreduce(r @ r)[0]))
     residuals.append(final)
     converged = r0 is not None and final <= rtol * r0

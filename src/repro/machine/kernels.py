@@ -9,7 +9,7 @@ per symbolic/numeric structure; the execution spaces in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List
 
 __all__ = ["Kernel", "KernelProfile"]

@@ -1,0 +1,61 @@
+"""Structured observability: span tracing, metrics, exporters.
+
+The measurement substrate every paper table is derived from.  Run any
+part of the stack under a :class:`Tracer` and the instrumented layers
+(:mod:`repro.dd`, :mod:`repro.krylov`, :mod:`repro.direct`,
+:mod:`repro.runtime`) record a hierarchical span trace -- wall times,
+kernel-profile leaf events, reduction/message counters, rank
+attribution -- which the exporters turn into a JSON-lines event stream,
+a Chrome ``chrome://tracing`` file, or a paper-style phase table::
+
+    from repro.obs import Tracer, use_tracer, chrome_trace_json
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = gmres(a, b, preconditioner=m)
+    tracer.finish()
+    print(tracer.reduces)                  # == the legacy ReduceCounter
+    open("trace.json", "w").write(chrome_trace_json(tracer.root))
+
+The default ambient tracer is a shared no-op (:data:`NULL_TRACER`), so
+untraced hot paths stay allocation-free.  See ``docs/observability.md``
+for the span taxonomy and the table-to-query mapping.
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    TracerReduceCounter,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    from_jsonl,
+    modeled_total,
+    phase_table,
+    to_jsonl,
+    wall_total,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "TracerReduceCounter",
+    "chrome_trace",
+    "chrome_trace_json",
+    "from_jsonl",
+    "get_tracer",
+    "modeled_total",
+    "phase_table",
+    "set_tracer",
+    "to_jsonl",
+    "use_tracer",
+    "wall_total",
+]

@@ -1,0 +1,264 @@
+"""Trace exporters: JSON-lines, Chrome ``chrome://tracing``, phase table.
+
+Three views of one :class:`~repro.obs.tracer.Span` tree:
+
+* :func:`to_jsonl` / :func:`from_jsonl` -- a lossless line-per-span
+  event stream (kernel leaf events included), machine-diffable and
+  round-trippable;
+* :func:`chrome_trace` / :func:`chrome_trace_json` -- the Chrome trace
+  event format (open in ``chrome://tracing`` or Perfetto): one complete
+  ("X") event per span, ranks mapped to rows (``tid``);
+* :func:`phase_table` -- the paper-style monospace phase summary whose
+  setup/solve rows match :func:`repro.runtime.timings.time_solver`.
+
+Wall-timed spans keep their measured timestamps; purely *modeled* spans
+(built by the pricing layer, ``t0 is None``) are laid out sequentially
+using their modeled seconds so a priced trace renders on the same
+timeline tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.tracer import Span
+
+__all__ = [
+    "modeled_total",
+    "wall_total",
+    "to_jsonl",
+    "from_jsonl",
+    "chrome_trace",
+    "chrome_trace_json",
+    "phase_table",
+]
+
+
+def modeled_total(span: Span) -> float:
+    """Modeled seconds of a subtree.
+
+    A span with its own ``modeled_seconds`` *covers* its children (the
+    pricing layer sets phase totals explicitly, e.g. the slowest-rank
+    max); otherwise the children's totals sum.
+    """
+    if span.modeled_seconds is not None:
+        return float(span.modeled_seconds)
+    return sum(modeled_total(c) for c in span.children)
+
+
+def wall_total(span: Span) -> float:
+    """Wall seconds of a subtree (0.0 when never wall-timed)."""
+    if span.wall_seconds is not None:
+        return float(span.wall_seconds)
+    return sum(wall_total(c) for c in span.children)
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def _span_record(span: Span, sid: int, parent: Optional[int]) -> dict:
+    rec: dict = {"id": sid, "parent": parent, "name": span.name}
+    if span.rank is not None:
+        rec["rank"] = span.rank
+    if span.t0 is not None:
+        rec["t0"] = span.t0
+    if span.t1 is not None:
+        rec["t1"] = span.t1
+    if span.modeled_seconds is not None:
+        rec["modeled_seconds"] = span.modeled_seconds
+    if span.counters:
+        rec["counters"] = dict(span.counters)
+    if span.annotations:
+        rec["annotations"] = {k: repr(v) if not isinstance(v, (str, int, float, bool, type(None))) else v
+                              for k, v in span.annotations.items()}
+    if span.profile is not None:
+        rec["kernels"] = [
+            {
+                "name": k.name,
+                "flops": k.flops,
+                "bytes": k.bytes,
+                "parallelism": k.parallelism,
+                "launches": k.launches,
+            }
+            for k in span.profile
+        ]
+    return rec
+
+
+def to_jsonl(root: Span) -> str:
+    """Serialize a span tree as one JSON object per line (pre-order)."""
+    lines: List[str] = []
+    ids: Dict[int, int] = {}
+    next_id = 0
+
+    def emit(span: Span, parent: Optional[int]) -> None:
+        nonlocal next_id
+        sid = next_id
+        next_id += 1
+        ids[id(span)] = sid
+        lines.append(json.dumps(_span_record(span, sid, parent), sort_keys=True))
+        for c in span.children:
+            emit(c, sid)
+
+    emit(root, None)
+    return "\n".join(lines) + "\n"
+
+
+def from_jsonl(text: str) -> Span:
+    """Rebuild a span tree from :func:`to_jsonl` output (round-trip)."""
+    spans: Dict[int, Span] = {}
+    root: Optional[Span] = None
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        sp = Span(rec["name"], rank=rec.get("rank"))
+        sp.t0 = rec.get("t0")
+        sp.t1 = rec.get("t1")
+        sp.modeled_seconds = rec.get("modeled_seconds")
+        sp.counters = dict(rec.get("counters", {}))
+        sp.annotations = dict(rec.get("annotations", {}))
+        if "kernels" in rec:
+            from repro.machine.kernels import KernelProfile
+
+            prof = KernelProfile()
+            for k in rec["kernels"]:
+                prof.add(
+                    k["name"],
+                    flops=k["flops"],
+                    bytes=k["bytes"],
+                    parallelism=k["parallelism"],
+                    launches=k["launches"],
+                )
+            sp.profile = prof
+        spans[rec["id"]] = sp
+        parent = rec.get("parent")
+        if parent is None:
+            root = sp
+        else:
+            spans[parent].children.append(sp)
+    if root is None:
+        raise ValueError("empty JSONL trace")
+    return root
+
+
+# ----------------------------------------------------------------------
+# Chrome trace event format
+# ----------------------------------------------------------------------
+def chrome_trace(root: Span) -> dict:
+    """The Chrome trace-event representation of a span tree.
+
+    Every span becomes one complete ("X") event; ``tid`` is the rank
+    (0 for rank-agnostic spans) so per-rank phases stack into per-rank
+    rows.  Counters and annotations ride along in ``args``.
+    """
+    events: List[dict] = []
+    origin = root.t0 if root.t0 is not None else 0.0
+
+    def emit(span: Span, cursor: float) -> float:
+        if span.t0 is not None:
+            ts = span.t0 - origin
+            dur = span.wall_seconds or 0.0
+        else:  # modeled span: sequential layout from the cursor
+            ts = cursor
+            dur = modeled_total(span)
+        args: dict = {k: v for k, v in span.counters.items()}
+        if span.modeled_seconds is not None:
+            args["modeled_seconds"] = span.modeled_seconds
+        for k, v in span.annotations.items():
+            args[k] = v if isinstance(v, (str, int, float, bool)) else repr(v)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split("/", 1)[0],
+                "ph": "X",
+                "ts": ts * 1e6,
+                "dur": dur * 1e6,
+                "pid": 0,
+                "tid": int(span.rank) if span.rank is not None else 0,
+                "args": args,
+            }
+        )
+        child_cursor = ts
+        for c in span.children:
+            child_cursor = emit(c, child_cursor)
+        return ts + dur
+
+    emit(root, 0.0)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(root: Span) -> str:
+    """:func:`chrome_trace` serialized to a JSON string."""
+    return json.dumps(chrome_trace(root))
+
+
+# ----------------------------------------------------------------------
+# paper-style phase table
+# ----------------------------------------------------------------------
+def _fmt_seconds(s: float) -> str:
+    return f"{s:.6f}" if s else "-"
+
+
+def _fmt_count(c: float) -> str:
+    return f"{int(c)}" if c else "-"
+
+
+def phase_table(root: Span, title: str = "phase breakdown") -> str:
+    """Render the per-phase summary table of a trace.
+
+    One row per top-level phase (the children of ``root``), aggregated
+    by name, followed by indented rows for each distinct sub-phase name.
+    Wall and modeled seconds come from :func:`wall_total` /
+    :func:`modeled_total`; counters are subtree sums.
+    """
+    header = ["phase", "wall s", "model s", "flops", "bytes", "launches", "reduces"]
+    rows: List[List[str]] = []
+
+    def aggregate(spans: List[Span], label: str) -> List[str]:
+        wall = sum(wall_total(s) for s in spans)
+        model = sum(modeled_total(s) for s in spans)
+        flops = sum(s.total("flops") for s in spans)
+        nbytes = sum(s.total("bytes") for s in spans)
+        launches = sum(s.total("launches") for s in spans)
+        reduces = sum(s.total("reduces") for s in spans)
+        return [
+            label,
+            _fmt_seconds(wall),
+            _fmt_seconds(model),
+            f"{flops:.3e}" if flops else "-",
+            f"{nbytes:.3e}" if nbytes else "-",
+            _fmt_count(launches),
+            _fmt_count(reduces),
+        ]
+
+    top: Dict[str, List[Span]] = {}
+    for c in root.children:
+        top.setdefault(c.name, []).append(c)
+    for name, spans in top.items():
+        rows.append(aggregate(spans, name))
+        sub: Dict[str, List[Span]] = {}
+        for s in spans:
+            for d in s.walk():
+                if d is not s:
+                    sub.setdefault(d.name, []).append(d)
+        for sub_name in sorted(sub):
+            rows.append(aggregate(sub[sub_name], "  " + sub_name))
+
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append(
+        " | ".join(h.ljust(w) if i == 0 else h.rjust(w)
+                   for i, (h, w) in enumerate(zip(header, widths)))
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(c.ljust(w) if i == 0 else c.rjust(w)
+                       for i, (c, w) in enumerate(zip(row, widths)))
+        )
+    return "\n".join(lines)

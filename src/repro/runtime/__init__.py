@@ -23,7 +23,7 @@ objects, so the distributed-memory behaviour enters through this layer:
 
 from repro.runtime.layout import JobLayout
 from repro.runtime.pricing import price_profile, reduce_seconds, halo_seconds
-from repro.runtime.timings import SolverTimings, time_solver
+from repro.runtime.timings import SolverTimings, time_solver, trace_solver
 from repro.runtime.simmpi import SimComm
 from repro.runtime.distributed import (
     DistributedCsr,
@@ -44,4 +44,5 @@ __all__ = [
     "price_profile",
     "reduce_seconds",
     "time_solver",
+    "trace_solver",
 ]

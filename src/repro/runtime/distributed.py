@@ -22,11 +22,12 @@ Import object, :class:`DistributedCsr` the row-distributed CrsMatrix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.dd.decomposition import Decomposition
+from repro.obs import get_tracer
 from repro.runtime.simmpi import SimComm
 from repro.sparse.blocks import extract_submatrix
 from repro.sparse.csr import CsrMatrix
@@ -175,10 +176,11 @@ class DistributedCsr:
 
     def spmv(self, x: DistributedVector, comm: SimComm) -> DistributedVector:
         """Distributed ``A @ x``: one halo exchange + rank-local SpMV."""
-        full = self.halo_exchange(x, comm)
-        return DistributedVector(
-            [rows.matvec(xf) for rows, xf in zip(self.local_rows, full)]
-        )
+        with get_tracer().span("krylov/spmv"):
+            full = self.halo_exchange(x, comm)
+            return DistributedVector(
+                [rows.matvec(xf) for rows, xf in zip(self.local_rows, full)]
+            )
 
 
 def distributed_cg(
@@ -267,6 +269,7 @@ def make_distributed_gdsw_apply(precond, a_dist: DistributedCsr):
     )
 
     def apply(v: DistributedVector, comm: SimComm) -> DistributedVector:
+        tr = get_tracer()
         # ---- import overlap values ----
         for rank, plan in enumerate(import_plans):
             for peer, pos, _ in plan:
@@ -281,10 +284,11 @@ def make_distributed_gdsw_apply(precond, a_dist: DistributedCsr):
                 )
             locals_in.append(buf)
         # ---- local solves ----
-        corrections = [
-            precond.one_level.locals[rank].apply(locals_in[rank])
-            for rank in range(n_ranks)
-        ]
+        with tr.span("apply/local_solve"):
+            corrections = [
+                precond.one_level.locals[rank].apply(locals_in[rank])
+                for rank in range(n_ranks)
+            ]
         # ---- export-sum corrections back to owners ----
         out = [np.zeros(d.size) for d in owned]
         for rank, plan in enumerate(import_plans):
@@ -305,13 +309,15 @@ def make_distributed_gdsw_apply(precond, a_dist: DistributedCsr):
                         out[rank][packed[:k].astype(np.int64)] += packed[k:]
         # ---- coarse level: allreduce the coarse residual, redundant solve
         if phi_rows is not None:
-            contribs = [
-                phi_rows[rank].rmatvec(v.segments[rank]) for rank in range(n_ranks)
-            ]
-            vc = comm.allreduce(contribs)
-            xc = precond.coarse.apply(vc)
-            for rank in range(n_ranks):
-                out[rank] += phi_rows[rank].matvec(xc)
+            with tr.span("apply/coarse_solve"):
+                contribs = [
+                    phi_rows[rank].rmatvec(v.segments[rank])
+                    for rank in range(n_ranks)
+                ]
+                vc = comm.allreduce(contribs)
+                xc = precond.coarse.apply(vc)
+                for rank in range(n_ranks):
+                    out[rank] += phi_rows[rank].matvec(xc)
         return DistributedVector(out)
 
     return apply

@@ -20,6 +20,8 @@ from typing import Any, Deque, Dict, List, Tuple
 
 import numpy as np
 
+from repro.obs import get_tracer
+
 __all__ = ["SimComm"]
 
 
@@ -65,8 +67,12 @@ class SimComm:
         self._check_rank(dst)
         self._queues.setdefault((src, dst, tag), deque()).append(payload)
         self.sends += 1
-        if isinstance(payload, np.ndarray):
-            self.bytes_sent += int(payload.nbytes)
+        nbytes = int(payload.nbytes) if isinstance(payload, np.ndarray) else 0
+        self.bytes_sent += nbytes
+        tr = get_tracer()
+        tr.count("messages", 1.0)
+        if nbytes:
+            tr.count("bytes_sent", float(nbytes))
 
     def recv(self, dst: int, src: int, tag: int = 0) -> Any:
         """Pop the next message from ``src`` to ``dst`` (FIFO per channel)."""
@@ -101,6 +107,9 @@ class SimComm:
         out = np.sum(arrays, axis=0)
         self.allreduces += 1
         self.reduce_doubles += int(out.size)
+        tr = get_tracer()
+        tr.count("reduces", 1.0)
+        tr.count("reduce_doubles", float(out.size))
         return out
 
     def barrier(self) -> None:

@@ -1,24 +1,34 @@
 """Whole-solver phase timings (the numbers in Tables II-VII).
 
 Given a built preconditioner (real numerics), a GMRES result (real
-iteration count and reduction count) and a :class:`JobLayout`, assemble:
+iteration count and reduction count) and a :class:`JobLayout`, build a
+*modeled trace*: a :class:`~repro.obs.tracer.Span` tree whose leaves are
+the per-rank :class:`~repro.machine.kernels.KernelProfile` objects and
+whose modeled seconds come from :mod:`repro.runtime.pricing`.  The
+:class:`SolverTimings` the paper tabulates are then *queries* on that
+trace:
 
-* **numerical setup time** -- the slowest rank's numeric-setup profile
+* **numerical setup time** -- the slowest rank's numeric-setup span
   (local factorization, basis extension, coarse SpGEMM/factorization,
   triangular-solve setup) -- Table III/IV(a)/V(a)/VI;
 * **solve (total iteration) time** -- iterations x (slowest rank's
   SpMV + preconditioner apply + halo exchange) + global-reduction cost
   -- Table II/IV(b)/V(b)/VII.
+
+:func:`time_solver` keeps its seed signature and bit-identical output;
+:func:`trace_solver` additionally returns the priced trace for the
+exporters (Chrome trace, phase table) in :mod:`repro.obs.export`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Tuple
 
 import numpy as np
 
 from repro.machine.kernels import KernelProfile
+from repro.obs import Span
 from repro.runtime.layout import JobLayout
 from repro.runtime.pricing import (
     halo_seconds,
@@ -27,7 +37,7 @@ from repro.runtime.pricing import (
     reduce_seconds,
 )
 
-__all__ = ["SolverTimings", "time_solver"]
+__all__ = ["SolverTimings", "time_solver", "trace_solver"]
 
 
 @dataclass
@@ -53,6 +63,9 @@ class SolverTimings:
         (Fig. 4).
     per_iteration_seconds:
         One iteration's cost (for amortization analyses).
+    trace:
+        The priced span tree these numbers were read from (excluded
+        from comparison/repr; None for hand-built instances).
     """
 
     setup_seconds: float
@@ -61,6 +74,7 @@ class SolverTimings:
     first_setup_seconds: float = 0.0
     setup_breakdown: Dict[str, float] = field(default_factory=dict)
     per_iteration_seconds: float = 0.0
+    trace: object = field(default=None, repr=False, compare=False)
 
     @property
     def total_seconds(self) -> float:
@@ -77,6 +91,115 @@ def _spmv_profile(a_nnz_rank: int, n_rank: int) -> KernelProfile:
         parallelism=float(max(n_rank, 1)),
     )
     return prof
+
+
+def trace_solver(
+    precond,
+    layout: JobLayout,
+    iterations: int,
+    reduces: int,
+    reduce_doubles: int,
+) -> Tuple[SolverTimings, Span]:
+    """Build the priced trace of one configuration and read its timings.
+
+    The returned :class:`~repro.obs.tracer.Span` root has three phases:
+
+    * ``setup`` -- per-rank ``setup/numeric`` children (profile +
+      modeled seconds each; family breakdown annotated), plus per-rank
+      ``setup/first`` children for the symbolic-included first setup.
+      The phase's own ``modeled_seconds`` is the slowest-rank max.
+    * ``solve`` -- per-rank ``apply/iteration`` children (SpMV +
+      preconditioner apply + halo exchange for ONE iteration) and one
+      ``krylov/allreduce`` child carrying the reduction counters; the
+      phase total is ``iterations x slowest-rank + reduction cost``.
+
+    Parameters match :func:`time_solver`.
+    """
+    dec = precond.dec
+    n_ranks = dec.n_subdomains
+    if n_ranks != layout.n_ranks:
+        raise ValueError(
+            f"layout has {layout.n_ranks} ranks but the decomposition has "
+            f"{n_ranks} subdomains"
+        )
+
+    root = Span("solver")
+    root.annotate(n_ranks=n_ranks, iterations=iterations)
+
+    # ---- per-rank SpMV work (owned rows) ----
+    a = dec.a
+    row_owner = dec.node_owner[
+        np.repeat(np.arange(a.n_rows, dtype=np.int64), a.row_nnz())
+        // dec.dofs_per_node
+    ]
+    nnz_per_rank = np.bincount(row_owner, minlength=n_ranks)
+    rows_per_rank = np.asarray([p.size * dec.dofs_per_node for p in dec.node_parts])
+
+    # ---- setup: slowest rank; "numerical setup" = phase (b) ----
+    setup = root.child("setup")
+    setup_costs = []
+    first_costs = []
+    breakdowns = []
+    for r in range(n_ranks):
+        prof = precond.rank_setup_profile(r, refactorization=True)
+        cost = price_profile(prof, layout)
+        fams = price_families(prof, layout)
+        sp = setup.child("setup/numeric", rank=r)
+        sp.add_profile(prof)
+        sp.modeled_seconds = cost
+        sp.annotate(families=fams)
+        setup_costs.append(cost)
+        breakdowns.append(fams)
+
+        first = precond.rank_setup_profile(r, refactorization=False)
+        first_cost = price_profile(first, layout)
+        fp = setup.child("setup/first", rank=r)
+        fp.add_profile(first)
+        fp.modeled_seconds = first_cost
+        first_costs.append(first_cost)
+    worst = int(np.argmax(setup_costs))
+    setup_seconds = float(setup_costs[worst])
+    first_setup_seconds = float(max(first_costs))
+    setup.modeled_seconds = setup_seconds
+    setup.annotate(worst_rank=worst, first_setup_seconds=first_setup_seconds)
+
+    # ---- one iteration: slowest rank's spmv + apply, plus comm ----
+    solve = root.child("solve")
+    iter_costs = []
+    for r in range(n_ranks):
+        prof = _spmv_profile(int(nnz_per_rank[r]), int(rows_per_rank[r]))
+        prof.extend(precond.rank_apply_profile(r))
+        c = price_profile(prof, layout)
+        c += halo_seconds(layout, precond.halo_doubles(r))
+        c += halo_seconds(layout, precond.halo_doubles(r) // 2)  # spmv halo
+        sp = solve.child("apply/iteration", rank=r)
+        sp.add_profile(prof)
+        sp.modeled_seconds = c
+        sp.count("halo_doubles", float(precond.halo_doubles(r)))
+        iter_costs.append(c)
+    per_iter = float(max(iter_costs)) if iter_costs else 0.0
+
+    reduce_cost = reduce_seconds(layout, reduces, reduce_doubles)
+    red = solve.child("krylov/allreduce")
+    red.count("reduces", float(reduces))
+    red.count("reduce_doubles", float(reduce_doubles))
+    red.modeled_seconds = reduce_cost
+
+    solve_seconds = iterations * per_iter + reduce_cost
+    solve.modeled_seconds = solve_seconds
+    solve.annotate(per_iteration_seconds=per_iter)
+    root.modeled_seconds = setup_seconds + solve_seconds
+
+    timings = SolverTimings(
+        setup_seconds=setup_seconds,
+        solve_seconds=solve_seconds,
+        iterations=iterations,
+        first_setup_seconds=first_setup_seconds,
+        setup_breakdown=breakdowns[worst],
+        per_iteration_seconds=per_iter,
+        trace=root,
+    )
+    return timings, root
 
 
 def time_solver(
@@ -100,56 +223,5 @@ def time_solver(
         From the Krylov result: inner iterations and global-reduction
         counts.
     """
-    dec = precond.dec
-    n_ranks = dec.n_subdomains
-    if n_ranks != layout.n_ranks:
-        raise ValueError(
-            f"layout has {layout.n_ranks} ranks but the decomposition has "
-            f"{n_ranks} subdomains"
-        )
-
-    # ---- per-rank SpMV work (owned rows) ----
-    a = dec.a
-    row_owner = dec.node_owner[
-        np.repeat(np.arange(a.n_rows, dtype=np.int64), a.row_nnz())
-        // dec.dofs_per_node
-    ]
-    nnz_per_rank = np.bincount(row_owner, minlength=n_ranks)
-    rows_per_rank = np.asarray([p.size * dec.dofs_per_node for p in dec.node_parts])
-
-    # ---- setup: slowest rank; "numerical setup" = phase (b) ----
-    setup_costs = []
-    first_costs = []
-    breakdowns = []
-    for r in range(n_ranks):
-        prof = precond.rank_setup_profile(r, refactorization=True)
-        setup_costs.append(price_profile(prof, layout))
-        breakdowns.append(price_families(prof, layout))
-        first = precond.rank_setup_profile(r, refactorization=False)
-        first_costs.append(price_profile(first, layout))
-    worst = int(np.argmax(setup_costs))
-    setup_seconds = float(setup_costs[worst])
-    first_setup_seconds = float(max(first_costs))
-
-    # ---- one iteration: slowest rank's spmv + apply, plus comm ----
-    iter_costs = []
-    for r in range(n_ranks):
-        prof = _spmv_profile(int(nnz_per_rank[r]), int(rows_per_rank[r]))
-        prof.extend(precond.rank_apply_profile(r))
-        c = price_profile(prof, layout)
-        c += halo_seconds(layout, precond.halo_doubles(r))
-        c += halo_seconds(layout, precond.halo_doubles(r) // 2)  # spmv halo
-        iter_costs.append(c)
-    per_iter = float(max(iter_costs)) if iter_costs else 0.0
-
-    reduce_cost = reduce_seconds(layout, reduces, reduce_doubles)
-    solve_seconds = iterations * per_iter + reduce_cost
-
-    return SolverTimings(
-        setup_seconds=setup_seconds,
-        solve_seconds=solve_seconds,
-        iterations=iterations,
-        first_setup_seconds=first_setup_seconds,
-        setup_breakdown=breakdowns[worst],
-        per_iteration_seconds=per_iter,
-    )
+    timings, _ = trace_solver(precond, layout, iterations, reduces, reduce_doubles)
+    return timings

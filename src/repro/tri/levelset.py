@@ -14,11 +14,11 @@ level so the machine model can price launch-bound behaviour.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List
 
 import numpy as np
 
-from repro.machine.kernels import Kernel, KernelProfile
+from repro.machine.kernels import KernelProfile
 from repro.sparse.csr import CsrMatrix
 
 __all__ = ["level_schedule", "LevelScheduledTriangular"]

@@ -16,7 +16,7 @@ the modelled solvers delegate to cuBLAS.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """ASCII plotting utilities."""
 
-import numpy as np
 import pytest
 
 from repro.bench.plots import ascii_lineplot, scaling_plot

@@ -7,7 +7,6 @@ import pytest
 from repro.dd import (
     Decomposition,
     GDSWPreconditioner,
-    LocalSolverSpec,
     analyze_interface,
     build_coarse_space,
 )

@@ -44,7 +44,6 @@ class TestMultilevelCoarseSolver:
         assert len(solver.solve_profile) > 0
 
     def test_rejects_rectangular(self):
-        import repro.sparse as sp
         from repro.sparse import CsrMatrix
 
         bad = CsrMatrix.from_dense(np.ones((3, 4)))

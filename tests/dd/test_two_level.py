@@ -12,7 +12,7 @@ from repro.dd import (
 )
 from repro.dd.precision import round_to_single
 from repro.fem import elasticity_3d, laplace_3d, rigid_body_modes
-from repro.krylov import cg, gmres
+from repro.krylov import gmres
 from repro.sparse import CsrMatrix
 
 

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.direct import GilbertPeierlsLU, MultifrontalCholesky, direct_solver
-from repro.fem import elasticity_3d, laplace_3d
 from repro.sparse import CsrMatrix
 from tests.conftest import random_spd
 

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fem import laplace_3d
 from repro.ilu import FastIlu, IlukFactorization, iluk_symbolic
 from repro.sparse import CsrMatrix
 from tests.conftest import random_spd

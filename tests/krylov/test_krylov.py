@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.krylov import CgResult, GmresResult, ReduceCounter, cg, gmres
+from repro.krylov import ReduceCounter, cg, gmres
 from repro.sparse import CsrMatrix
 from tests.conftest import random_spd
 

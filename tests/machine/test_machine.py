@@ -1,6 +1,5 @@
 """Machine model: kernels, specs, pricing spaces."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -12,7 +11,6 @@ from repro.machine import (
     GpuSpec,
     Kernel,
     KernelProfile,
-    MachineSpec,
     price,
     summit,
 )

@@ -1,6 +1,5 @@
 """Runtime layer: layouts, pricing policy, whole-solver timings."""
 
-import numpy as np
 import pytest
 
 from repro.bench.harness import model_machine
