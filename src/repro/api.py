@@ -179,6 +179,9 @@ class SessionResult:
     n_ranks: int
     precond: object
     trace: Span
+    #: :class:`repro.verify.VerificationReport` when the session was
+    #: constructed with ``verify=``; None otherwise
+    verification: Optional[object] = None
 
     def timings(self, layout):
         """Price this run under a :class:`~repro.runtime.layout.JobLayout`.
@@ -228,6 +231,15 @@ class SolverSession:
     tracer:
         A :class:`~repro.obs.tracer.Tracer` to record into (a fresh one
         per solve by default).
+    verify:
+        ``False`` (default) solves without verification.  ``True`` runs
+        the :mod:`repro.verify` invariant suite after the solve with
+        default tolerances; a :class:`~repro.verify.VerifyConfig`
+        selects tolerances and the optional distributed diff /
+        cost-model audit.  The report lands on
+        ``SessionResult.verification``; in strict mode (the config
+        default) a failed check raises
+        :class:`~repro.verify.VerificationError`.
     """
 
     def __init__(
@@ -238,6 +250,7 @@ class SolverSession:
         krylov: Optional[KrylovConfig] = None,
         nullspace: Optional[np.ndarray] = None,
         tracer: Optional[Tracer] = None,
+        verify: object = False,
     ) -> None:
         for attr in ("a", "b"):
             if not hasattr(problem, attr):
@@ -256,6 +269,11 @@ class SolverSession:
         self.krylov = krylov or KrylovConfig()
         self._nullspace = nullspace
         self.tracer = tracer
+        if verify is True:
+            from repro.verify import VerifyConfig
+
+            verify = VerifyConfig()
+        self.verify: object = verify or None
 
     # ------------------------------------------------------------------
     def nullspace(self) -> np.ndarray:
@@ -302,6 +320,11 @@ class SolverSession:
         kry = self.krylov
         problem = self.problem
         tracer = self.tracer or Tracer()
+        observer = None
+        if self.verify is not None and kry.method == "gmres":
+            from repro.verify import GmresInvariantObserver
+
+            observer = GmresInvariantObserver()
         with use_tracer(tracer):
             with tracer.span("setup") as sp:
                 sp.annotate(config=self.config.describe(),
@@ -321,6 +344,7 @@ class SolverSession:
                         restart=kry.restart,
                         maxiter=kry.maxiter,
                         variant=kry.variant,
+                        observer=observer,
                     )
                 elif kry.method == "cg":
                     res = cg(
@@ -346,6 +370,22 @@ class SolverSession:
         )
         inner = operator.inner if isinstance(operator, HalfPrecisionOperator) \
             else operator
+        verification = None
+        if self.verify is not None:
+            from repro.verify import verify_run
+
+            verification = verify_run(
+                problem.a,
+                problem.b,
+                res.x,
+                res.residual_norms,
+                operator,
+                config=self.verify,
+                nullspace=self.nullspace(),
+                observer=observer,
+            )
+            if getattr(self.verify, "strict", True):
+                verification.raise_on_failure()
         return SessionResult(
             x=res.x,
             iterations=res.iterations,
@@ -358,4 +398,5 @@ class SolverSession:
             n_ranks=inner.dec.n_subdomains,
             precond=operator,
             trace=tracer.root,
+            verification=verification,
         )

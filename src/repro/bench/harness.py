@@ -28,6 +28,7 @@ __all__ = [
     "NumericsRecord",
     "run_numerics",
     "price_run",
+    "audit_record",
     "clear_cache",
 ]
 
@@ -131,6 +132,9 @@ class NumericsRecord:
     n_ranks: int
     final_relres: float
     trace: object = field(default=None, repr=False, compare=False)
+    #: cost-model audit verdict (``repro.verify.CostModelAudit``);
+    #: populated lazily by :func:`audit_record`
+    audit: object = field(default=None, repr=False, compare=False)
 
 
 _NUMERICS_CACHE: Dict[Tuple, NumericsRecord] = {}
@@ -240,3 +244,18 @@ def price_run(record: NumericsRecord, layout: JobLayout) -> SolverTimings:
         record.reduces,
         record.reduce_doubles,
     )
+
+
+def audit_record(record: NumericsRecord):
+    """Audit the record's cost model against an executed apply; memoized.
+
+    Runs :func:`repro.verify.audit_cost_model` on the record's
+    preconditioner (one distributed SpMV + one apply through the
+    simulated MPI layer) and stashes the verdict on ``record.audit`` so
+    every table/figure priced from the same numerics shares one audit.
+    """
+    if record.audit is None:
+        from repro.verify import audit_cost_model
+
+        record.audit = audit_cost_model(record.precond)
+    return record.audit

@@ -41,12 +41,15 @@ def cg(
     rtol: float = 1e-7,
     maxiter: int = 1000,
     reducer: Optional[ReduceCounter] = None,
+    callback: Optional[Callable[[int, np.ndarray], None]] = None,
 ) -> CgResult:
     """Solve SPD ``A x = b`` with preconditioned CG.
 
     Convergence when ``||r|| <= rtol * ||r0||``; two global reductions
     per iteration (the classic count the pipelined variants reduce).
     ``reducer`` is deprecated -- run under a :class:`repro.obs.Tracer`.
+    ``callback(it, x)`` observes the iterate after every update (used by
+    :mod:`repro.verify` to diff against the distributed iterates).
     """
     from repro.krylov.gmres import _as_apply, _deprecated_reducer_warning
 
@@ -86,6 +89,8 @@ def cg(
         x = x + alpha * p
         r = r - alpha * ap
         it += 1
+        if callback is not None:
+            callback(it, x)
         rn = float(np.sqrt(red.allreduce(r @ r)[0]))
         residuals.append(rn)
         if rn <= rtol * r0:

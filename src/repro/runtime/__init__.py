@@ -23,7 +23,12 @@ objects, so the distributed-memory behaviour enters through this layer:
 
 from repro.runtime.layout import JobLayout
 from repro.runtime.pricing import price_profile, reduce_seconds, halo_seconds
-from repro.runtime.timings import SolverTimings, time_solver, trace_solver
+from repro.runtime.timings import (
+    SolverTimings,
+    spmv_halo_doubles,
+    time_solver,
+    trace_solver,
+)
 from repro.runtime.simmpi import SimComm
 from repro.runtime.distributed import (
     DistributedCsr,
@@ -43,6 +48,7 @@ __all__ = [
     "halo_seconds",
     "price_profile",
     "reduce_seconds",
+    "spmv_halo_doubles",
     "time_solver",
     "trace_solver",
 ]

@@ -22,7 +22,7 @@ Import object, :class:`DistributedCsr` the row-distributed CrsMatrix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -120,6 +120,7 @@ class DistributedCsr:
         self.local_rows: List[CsrMatrix] = []
         self.plans: List[HaloPlan] = []
         self.ghost_ranks: List[np.ndarray] = []
+        self.ghost_dofs: List[np.ndarray] = []
         for rank, dofs in enumerate(self.owned_dofs):
             rows = extract_submatrix(a, dofs, np.arange(n, dtype=np.int64))
             cols_global = rows.indices
@@ -148,6 +149,7 @@ class DistributedCsr:
                 sends[peer] = local_pos[ghosts[g_owner == peer]]
             self.plans.append(HaloPlan(sends, recv_order, recv_counts))
             self.ghost_ranks.append(owner_of_dof[ghosts])
+            self.ghost_dofs.append(ghosts)
 
         # invert the receive plans into send lists per rank
         self.send_lists: List[List[Tuple[int, np.ndarray]]] = [
@@ -190,6 +192,7 @@ def distributed_cg(
     rtol: float = 1e-7,
     maxiter: int = 500,
     preconditioner=None,
+    callback: Optional[Callable[[int, DistributedVector], None]] = None,
 ) -> Tuple[DistributedVector, int, bool]:
     """Conjugate gradients executed with strictly rank-local data.
 
@@ -197,6 +200,8 @@ def distributed_cg(
     :class:`DistributedVector` (see
     :func:`make_distributed_gdsw_apply`).  Control flow is identical on
     every rank (as in real MPI), so the loop is written once.
+    ``callback(it, x)`` observes the iterate after every update (used by
+    :mod:`repro.verify` to diff against the sequential iterates).
     """
     x = DistributedVector([np.zeros_like(s) for s in b.segments])
     r = b.copy()
@@ -217,6 +222,8 @@ def distributed_cg(
         x = x.axpy(alpha, p)
         r = r.axpy(-alpha, ap)
         it += 1
+        if callback is not None:
+            callback(it, x)
         rn = np.sqrt(r.dot(r, comm))
         if rn <= rtol * r0:
             converged = True

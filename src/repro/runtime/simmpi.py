@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +46,11 @@ class SimComm:
     allreduces, reduce_doubles:
         Collective counters, comparable with
         :class:`repro.krylov.reduce.ReduceCounter`.
+
+    Per-destination, per-tag payload volumes are additionally recorded
+    (:meth:`channel_doubles`) so the cost-model audit in
+    :mod:`repro.verify` can compare the values each rank actually
+    imported per communication family against the modeled counts.
     """
 
     size: int
@@ -55,6 +60,7 @@ class SimComm:
     allreduces: int = 0
     reduce_doubles: int = 0
     _queues: Dict[Tuple[int, int, int], Deque[Any]] = field(default_factory=dict)
+    _channel_doubles: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.size):
@@ -69,6 +75,11 @@ class SimComm:
         self.sends += 1
         nbytes = int(payload.nbytes) if isinstance(payload, np.ndarray) else 0
         self.bytes_sent += nbytes
+        if isinstance(payload, np.ndarray):
+            key = (dst, tag)
+            self._channel_doubles[key] = (
+                self._channel_doubles.get(key, 0) + int(payload.size)
+            )
         tr = get_tracer()
         tr.count("messages", 1.0)
         if nbytes:
@@ -90,6 +101,16 @@ class SimComm:
     def pending(self) -> int:
         """Number of undelivered messages (should be 0 after a phase)."""
         return sum(len(q) for q in self._queues.values())
+
+    def channel_doubles(
+        self, dst: Optional[int] = None, tag: Optional[int] = None
+    ) -> int:
+        """Array values sent to ``dst`` (None: all) under ``tag`` (None: all)."""
+        return sum(
+            v
+            for (d, t), v in self._channel_doubles.items()
+            if (dst is None or d == dst) and (tag is None or t == tag)
+        )
 
     # ------------------------------------------------------------------
     def allreduce(self, contributions: List[np.ndarray]) -> np.ndarray:

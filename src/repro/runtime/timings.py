@@ -15,9 +15,12 @@ trace:
   SpMV + preconditioner apply + halo exchange) + global-reduction cost
   -- Table II/IV(b)/V(b)/VII.
 
-:func:`time_solver` keeps its seed signature and bit-identical output;
-:func:`trace_solver` additionally returns the priced trace for the
-exporters (Chrome trace, phase table) in :mod:`repro.obs.export`.
+:func:`time_solver` keeps its seed signature; :func:`trace_solver`
+additionally returns the priced trace for the exporters (Chrome trace,
+phase table) in :mod:`repro.obs.export`.  The SpMV halo is priced from
+the decomposition's own interface (:func:`spmv_halo_doubles`), never
+from the preconditioner's apply halo -- the Krylov iteration runs in
+working precision regardless of the preconditioner's.
 """
 
 from __future__ import annotations
@@ -37,7 +40,30 @@ from repro.runtime.pricing import (
     reduce_seconds,
 )
 
-__all__ = ["SolverTimings", "time_solver", "trace_solver"]
+__all__ = ["SolverTimings", "spmv_halo_doubles", "time_solver", "trace_solver"]
+
+
+def spmv_halo_doubles(dec) -> np.ndarray:
+    """Per-rank ghost values imported by one distributed SpMV.
+
+    Rank ``r`` must import every dof referenced by its owned rows but
+    owned elsewhere -- the decomposition's own interface, exactly the
+    ghost sets :class:`~repro.runtime.distributed.DistributedCsr`
+    materializes.  SpMV runs in the Krylov working precision, so this
+    count is independent of the preconditioner's precision (the bug the
+    cost-model audit guards: deriving it from ``precond.halo_doubles``
+    quarter-priced the halo under ``HalfPrecisionOperator``).
+    """
+    a = dec.a
+    owner_of_dof = np.repeat(dec.node_owner, dec.dofs_per_node)
+    rows = np.repeat(np.arange(a.n_rows, dtype=np.int64), a.row_nnz())
+    row_owner = owner_of_dof[rows]
+    col_owner = owner_of_dof[a.indices]
+    off = row_owner != col_owner
+    pairs = np.unique(
+        np.stack([row_owner[off], a.indices[off]], axis=1), axis=0
+    )
+    return np.bincount(pairs[:, 0], minlength=dec.n_subdomains)
 
 
 @dataclass
@@ -166,16 +192,21 @@ def trace_solver(
     # ---- one iteration: slowest rank's spmv + apply, plus comm ----
     solve = root.child("solve")
     iter_costs = []
+    # the SpMV halo is the decomposition's own interface: it runs in the
+    # Krylov working precision, independent of the preconditioner's
+    # (a HalfPrecisionOperator halves only the *apply* halo payload)
+    spmv_halo = spmv_halo_doubles(dec)
     for r in range(n_ranks):
         prof = _spmv_profile(int(nnz_per_rank[r]), int(rows_per_rank[r]))
         prof.extend(precond.rank_apply_profile(r))
         c = price_profile(prof, layout)
         c += halo_seconds(layout, precond.halo_doubles(r))
-        c += halo_seconds(layout, precond.halo_doubles(r) // 2)  # spmv halo
+        c += halo_seconds(layout, int(spmv_halo[r]))  # spmv halo
         sp = solve.child("apply/iteration", rank=r)
         sp.add_profile(prof)
         sp.modeled_seconds = c
         sp.count("halo_doubles", float(precond.halo_doubles(r)))
+        sp.count("spmv_halo_doubles", float(spmv_halo[r]))
         iter_costs.append(c)
     per_iter = float(max(iter_costs)) if iter_costs else 0.0
 

@@ -1,0 +1,89 @@
+"""CI entry point: ``python -m repro.verify``.
+
+Runs the full invariant suite -- algebraic invariants, the
+sequential-vs-distributed diff, and the cost-model audit -- on the
+quickstart problems (Laplace and elasticity) in both working
+precisions, and exits nonzero when any check fails.  This is the
+``verify`` job of ``.github/workflows/ci.yml``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.api import KrylovConfig, SchwarzConfig, SolverSession
+from repro.fem import elasticity_3d, laplace_3d
+from repro.verify import VerifyConfig
+
+PROBLEMS = {
+    "laplace": lambda: laplace_3d(6),
+    "elasticity": lambda: elasticity_3d(4),
+}
+PRECISIONS = ("double", "single")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the suite; returns the number of failing configurations."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Run the numerical-invariant verification suite.",
+    )
+    parser.add_argument(
+        "--problems",
+        default=",".join(PROBLEMS),
+        help="comma-separated subset of: " + ", ".join(PROBLEMS),
+    )
+    parser.add_argument(
+        "--precisions",
+        default=",".join(PRECISIONS),
+        help="comma-separated subset of: " + ", ".join(PRECISIONS),
+    )
+    parser.add_argument(
+        "--partition", default="2,2,2", help="subdomain box, e.g. 2,2,2"
+    )
+    parser.add_argument(
+        "--no-diff", action="store_true",
+        help="skip the sequential-vs-distributed execution diff",
+    )
+    parser.add_argument(
+        "--no-audit", action="store_true",
+        help="skip the cost-model audit",
+    )
+    args = parser.parse_args(argv)
+
+    partition = tuple(int(p) for p in args.partition.split(","))
+    config = VerifyConfig(
+        strict=False,
+        diff_distributed=not args.no_diff,
+        audit_cost_model=not args.no_audit,
+    )
+    failures = 0
+    for name in args.problems.split(","):
+        name = name.strip()
+        if name not in PROBLEMS:
+            parser.error(f"unknown problem {name!r}")
+        for precision in args.precisions.split(","):
+            precision = precision.strip()
+            session = SolverSession(
+                PROBLEMS[name](),
+                partition=partition,
+                config=SchwarzConfig(precision=precision),
+                krylov=KrylovConfig(),
+                verify=config,
+            )
+            result = session.solve()
+            report = result.verification
+            status = "PASS" if report.ok and result.converged else "FAIL"
+            print(f"== {name} / {precision}: {status} "
+                  f"({result.iterations} iterations)")
+            print(report.summary())
+            if not (report.ok and result.converged):
+                failures += 1
+    print(f"\n{failures} failing configuration(s)")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

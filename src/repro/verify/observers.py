@@ -1,0 +1,125 @@
+"""In-flight Krylov observers feeding the invariant suite.
+
+:func:`repro.krylov.gmres.gmres` accepts an ``observer`` whose
+``on_cycle`` hook fires after every restart cycle with the Arnoldi
+basis built in that cycle.  :class:`GmresInvariantObserver` records the
+basis orthogonality loss ``||V V^T - I||_max`` -- the quantity the
+single-reduce scheme's selective reorthogonalization exists to bound
+(Swirydowicz et al. 2021) -- and the recurrence-vs-explicit residual
+agreement at the cycle boundary.  The hook reads state the solver
+already has in registers: it issues no extra reductions and, outside
+verification runs, costs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.verify.invariants import InvariantCheck, VerifyConfig
+
+__all__ = ["CycleRecord", "GmresInvariantObserver"]
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """What one GMRES cycle left behind for verification.
+
+    Attributes
+    ----------
+    cycle:
+        0-based cycle index.
+    basis_size:
+        Number of (nonzero) Arnoldi vectors the cycle built.
+    ortho_loss:
+        ``||V V^T - I||_max`` of those vectors.
+    estimate:
+        Recurrence residual estimate at the cycle boundary.
+    true_norm:
+        Explicit ``||b - Ax||`` when the cycle ended in a convergence
+        confirmation; None when the cycle was merely exhausted.
+    """
+
+    cycle: int
+    basis_size: int
+    ortho_loss: float
+    estimate: float
+    true_norm: Optional[float]
+
+
+@dataclass
+class GmresInvariantObserver:
+    """Records per-cycle Arnoldi health; plug into ``gmres(observer=)``."""
+
+    records: List[CycleRecord] = field(default_factory=list)
+
+    def on_cycle(
+        self,
+        basis: np.ndarray,
+        x: np.ndarray,
+        estimate: float,
+        true_norm: Optional[float],
+    ) -> None:
+        """The hook ``gmres`` calls after each cycle (rows = basis)."""
+        # a lucky-breakdown cycle appends one all-zero row: exclude it
+        # (it is a sentinel, not a basis vector)
+        norms = np.linalg.norm(basis, axis=1)
+        v = basis[norms > 0.0]
+        if v.shape[0]:
+            gram = v @ v.T
+            loss = float(np.max(np.abs(gram - np.eye(v.shape[0]))))
+        else:
+            loss = 0.0
+        self.records.append(
+            CycleRecord(
+                cycle=len(self.records),
+                basis_size=int(v.shape[0]),
+                ortho_loss=loss,
+                estimate=float(estimate),
+                true_norm=None if true_norm is None else float(true_norm),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def max_ortho_loss(self) -> float:
+        """Worst ``||V V^T - I||_max`` across all recorded cycles."""
+        return max((r.ortho_loss for r in self.records), default=0.0)
+
+    def checks(
+        self, config: VerifyConfig, beta0: Optional[float] = None
+    ) -> List[InvariantCheck]:
+        """The observer's contribution to a verification report."""
+        worst = max(self.records, key=lambda r: r.ortho_loss, default=None)
+        out = [
+            InvariantCheck(
+                "krylov/orthogonality",
+                self.max_ortho_loss,
+                config.orthogonality_tol,
+                self.max_ortho_loss <= config.orthogonality_tol,
+                f"{len(self.records)} cycles"
+                + (
+                    f"; worst at cycle {worst.cycle} "
+                    f"(basis size {worst.basis_size})"
+                    if worst is not None
+                    else ""
+                ),
+            )
+        ]
+        confirmed = [r for r in self.records if r.true_norm is not None]
+        if confirmed and beta0:
+            drift = max(
+                abs(r.estimate - r.true_norm) / beta0 for r in confirmed
+            )
+            out.append(
+                InvariantCheck(
+                    "krylov/cycle_residual_drift",
+                    drift,
+                    config.residual_drift_tol,
+                    drift <= config.residual_drift_tol,
+                    f"{len(confirmed)} explicit confirmations",
+                )
+            )
+        return out

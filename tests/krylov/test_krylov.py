@@ -125,7 +125,60 @@ class TestGmres:
         a = random_spd(60, seed=10, density=0.08)
         b = rng.standard_normal(60)
         res = gmres(a, b, rtol=1e-10, restart=5, maxiter=500)
-        assert res.restarts >= 2
+        # more than one cycle ran, and only the re-entries count
+        assert res.iterations > 5
+        assert res.restarts >= 1
+        assert res.restarts == -(-res.iterations // 5) - 1
+
+    def test_first_cycle_is_not_a_restart(self, rng):
+        """A solve converging within one cycle performed zero restarts."""
+        a = random_spd(20, seed=31)
+        b = rng.standard_normal(20)
+        res = gmres(a, b, rtol=1e-8, restart=30)
+        assert res.converged
+        assert res.restarts == 0
+
+    def test_residual_history_is_pure_estimates(self, rng):
+        """residual_norms holds initial + one recurrence estimate per
+        inner iteration; explicit residuals live in true_residual_norms."""
+        a = random_spd(60, seed=32, density=0.08)
+        b = rng.standard_normal(60)
+        res = gmres(a, b, rtol=1e-9, restart=5, maxiter=500)
+        assert len(res.residual_norms) == res.iterations + 1
+        assert res.true_residual_norms  # at least the final confirmation
+        its = [it for it, _ in res.true_residual_norms]
+        assert its == sorted(its)
+        assert its[-1] == res.iterations
+
+    def test_nonpositive_lagged_estimate_is_not_a_breakdown(self, rng):
+        """Regression (spurious lucky breakdown): when rounding drives
+        the reorthogonalized Pythagorean estimate non-positive, the
+        solver must fall back to an explicit norm instead of reporting
+        hnext = 0 (which ends the cycle as a lucky breakdown)."""
+        from repro.krylov.gmres import _orthogonalize
+
+        class SkewedReducer(ReduceCounter):
+            """Emulates a batched reduction whose accumulation order
+            biases the projection coefficients up and the norm down
+            (breaking the Pythagorean identity: wtw2 < h2 @ h2);
+            scalar (explicit-norm) reductions stay exact."""
+
+            def allreduce(self, values):
+                out = np.array(super().allreduce(values), dtype=np.float64)
+                if out.size > 1:
+                    out[:-1] *= 1 + 1e-5
+                    out[-1] *= 1 - 1e-5
+                return out
+
+        # orthonormal basis; w lies in span(v) up to a tiny real remainder
+        q, _ = np.linalg.qr(rng.standard_normal((12, 12)))
+        v = q.T[:4].copy()
+        w = v[0] + 1e-8 * q.T[5]
+        red = SkewedReducer()
+        _, hnext, w_orth = _orthogonalize("single_reduce", v, w, red)
+        # the remainder is real: the explicit fallback must keep it
+        assert hnext > 0.0  # pre-fix: est2 <= 0 yielded hnext == 0.0
+        assert hnext == pytest.approx(np.linalg.norm(w_orth), rel=0.2)
 
     def test_explicit_residual_guard(self, rng):
         """Claimed convergence is verified against the true residual."""
@@ -188,8 +241,10 @@ def test_property_gmres_residuals_match_reported(n, seed):
     b = np.random.default_rng(seed + 1).standard_normal(n)
     res = gmres(a, b, rtol=1e-9, restart=n)
     true = np.linalg.norm(a.matvec(res.x) - b)
-    # the last recorded residual is the verified true residual
-    assert res.residual_norms[-1] == pytest.approx(true, rel=1e-6, abs=1e-12)
+    # the last explicit residual evaluation is the verified true residual
+    it, rec = res.true_residual_norms[-1]
+    assert it == res.iterations
+    assert rec == pytest.approx(true, rel=1e-6, abs=1e-12)
 
 
 class TestPipelinedCg:

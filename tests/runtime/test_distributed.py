@@ -98,6 +98,38 @@ class TestDistributedCsr:
         ad.spmv(x, comm)
         assert comm.sends == 2 * first  # constant messages per spmv
 
+    def test_dropped_halo_message_is_caught(self, dist_setup, rng):
+        """A lost halo send deadlocks the matching recv; an undrained
+        delivery is caught by pending()/barrier() at the phase end."""
+        p, dec, ad = dist_setup
+        x = DistributedVector.from_global(
+            rng.standard_normal(p.a.n_rows), ad.owned_dofs
+        )
+
+        # send-side drop: one rank's halo contribution never arrives
+        comm = SimComm(size=dec.n_subdomains)
+        real_send = comm.send
+        dropped = {"n": 0}
+
+        def lossy_send(src, dst, payload, tag=0):
+            if tag == 1 and dropped["n"] == 0:
+                dropped["n"] += 1
+                return  # message lost in transit
+            real_send(src, dst, payload, tag)
+
+        comm.send = lossy_send
+        with pytest.raises(RuntimeError, match="deadlock"):
+            ad.spmv(x, comm)
+        assert dropped["n"] == 1
+
+        # recv-side drop: a payload nobody drains survives the phase
+        comm2 = SimComm(size=dec.n_subdomains)
+        ad.spmv(x, comm2)
+        comm2.send(0, 1, np.ones(3), tag=1)  # stray halo payload
+        assert comm2.pending() == 1
+        with pytest.raises(RuntimeError, match="undelivered"):
+            comm2.barrier()
+
     def test_vector_roundtrip_and_dot(self, dist_setup, rng):
         p, dec, ad = dist_setup
         comm = SimComm(size=dec.n_subdomains)

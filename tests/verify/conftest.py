@@ -1,0 +1,17 @@
+"""Shared preconditioner fixtures for the verification tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dd import Decomposition, GDSWPreconditioner
+from repro.fem import rigid_body_modes
+
+
+@pytest.fixture(scope="package")
+def built_elasticity(small_elasticity):
+    """Small elasticity problem with a built two-level preconditioner."""
+    p = small_elasticity
+    dec = Decomposition.from_box_partition(p, 2, 2, 1)
+    m = GDSWPreconditioner(dec, rigid_body_modes(p.coordinates))
+    return p, dec, m

@@ -1,0 +1,51 @@
+"""Sequential-vs-distributed execution diff (repro.verify.diff)."""
+
+import numpy as np
+
+import repro.verify.diff as diff_mod
+from repro.runtime import SimComm
+from repro.verify import diff_executions
+from repro.verify.diff import PHASES
+
+
+class TestDiffExecutions:
+    def test_executions_agree(self, built_elasticity):
+        _, _, m = built_elasticity
+        diff = diff_executions(m)
+        assert diff.ok, diff.summary()
+        assert diff.first_divergence is None
+        assert [p.phase for p in diff.phases] == list(PHASES)
+
+    def test_phases_carry_their_spans(self, built_elasticity):
+        _, _, m = built_elasticity
+        diff = diff_executions(m)
+        assert diff.trace.find("verify/halo_payloads")
+        assert diff.trace.find("verify/krylov")
+        checks = diff.as_checks()
+        assert all(c.name.startswith("diff/") for c in checks)
+
+    def test_reduction_relation_is_exact(self, built_elasticity):
+        # distributed allreduces == sequential dots + one coarse
+        # allreduce per preconditioner application
+        _, _, m = built_elasticity
+        diff = diff_executions(m)
+        red = next(p for p in diff.phases if p.phase == "reduction_counts")
+        assert red.ok and red.value == 0.0
+
+    def test_corrupted_halo_reports_first_divergent_phase(
+        self, built_elasticity, monkeypatch
+    ):
+        # a halo bug must surface as the causally first phase
+        # (halo_payloads), not as an iterate drift three layers up
+        _, _, m = built_elasticity
+
+        class CorruptingComm(SimComm):
+            def send(self, src, dst, payload, tag=0):
+                if tag == 1 and isinstance(payload, np.ndarray) and payload.size:
+                    payload = payload + 1.0
+                super().send(src, dst, payload, tag)
+
+        monkeypatch.setattr(diff_mod, "SimComm", CorruptingComm)
+        diff = diff_executions(m)
+        assert not diff.ok
+        assert diff.first_divergence == "halo_payloads"

@@ -1,0 +1,162 @@
+"""Algebraic invariant checks and the SolverSession verify= knob."""
+
+import numpy as np
+import pytest
+
+from repro.api import SchwarzConfig, SolverSession
+from repro.fem import rigid_body_modes
+from repro.krylov import gmres
+from repro.verify import (
+    InvariantCheck,
+    VerificationError,
+    VerificationReport,
+    VerifyConfig,
+    check_coarse_basis,
+    check_overlap_operator,
+    check_residual_drift,
+    verify_run,
+)
+
+
+class TestResidualDrift:
+    def test_converged_solve_has_bounded_drift(self, built_elasticity):
+        p, _, m = built_elasticity
+        res = gmres(p.a, p.b, preconditioner=m, rtol=1e-8)
+        checks = check_residual_drift(
+            res.x, p.a, p.b, res.residual_norms, VerifyConfig()
+        )
+        assert all(c.ok for c in checks)
+
+    def test_flags_bogus_convergence(self, built_elasticity):
+        # the symptom of the spurious lucky breakdown the pre-fix
+        # _orthogonalize produced: the recurrence estimate claims
+        # convergence while the iterate does not satisfy it
+        p, _, _ = built_elasticity
+        x_wrong = np.zeros(p.a.n_rows)
+        history = [float(np.linalg.norm(p.b)), 1e-12]
+        checks = check_residual_drift(x_wrong, p.a, p.b, history, VerifyConfig())
+        assert not all(c.ok for c in checks)
+
+
+class TestOverlapOperator:
+    def test_extraction_preserves_symmetry_and_spd(self, built_elasticity):
+        _, _, m = built_elasticity
+        checks = check_overlap_operator(m, VerifyConfig())
+        assert all(c.ok for c in checks), "\n".join(map(str, checks))
+        assert {c.name for c in checks} == {"overlap/symmetry", "overlap/spd"}
+
+    def test_catches_broken_extraction(self, built_elasticity):
+        _, _, m = built_elasticity
+        a0 = m.one_level.matrices[0]
+        rows = np.repeat(np.arange(a0.n_rows), a0.row_nnz())
+        off = int(np.nonzero(rows != a0.indices)[0][0])
+        old = a0.data[off]
+        a0.data[off] = 2.0 * old + 1.0  # one triangle only: asymmetric
+        try:
+            checks = check_overlap_operator(m, VerifyConfig())
+            sym = next(c for c in checks if c.name == "overlap/symmetry")
+            assert not sym.ok
+        finally:
+            a0.data[off] = old
+
+
+class TestCoarseBasis:
+    def test_gdsw_basis_invariants(self, built_elasticity):
+        p, _, m = built_elasticity
+        checks = check_coarse_basis(
+            m, VerifyConfig(), nullspace=rigid_body_modes(p.coordinates)
+        )
+        assert all(c.ok for c in checks), "\n".join(map(str, checks))
+        assert {c.name for c in checks} == {
+            "coarse/partition_of_unity",
+            "coarse/harmonic_extension",
+            "coarse/nullspace_reproduction",
+        }
+
+    def test_catches_broken_extension(self, built_elasticity):
+        # corrupt one interior entry of Phi: Eq. (2) no longer holds
+        _, _, m = built_elasticity
+        phi = m.phi
+        interior = set(m.space.interior_dofs.tolist())
+        rows = np.repeat(np.arange(phi.n_rows), phi.row_nnz())
+        idx = next(
+            i for i in range(phi.data.size) if int(rows[i]) in interior
+        )
+        old = phi.data[idx]
+        phi.data[idx] = old + 1.0
+        try:
+            checks = check_coarse_basis(m, VerifyConfig())
+            ext = next(
+                c for c in checks if c.name == "coarse/harmonic_extension"
+            )
+            assert not ext.ok
+        finally:
+            phi.data[idx] = old
+
+
+class TestReport:
+    def test_failure_bookkeeping_and_strict_raise(self):
+        report = VerificationReport()
+        report.extend([InvariantCheck("good", 0.0, 1.0, True)])
+        assert report.ok and not report.failures
+        report.extend([InvariantCheck("bad", 2.0, 1.0, False, "boom")])
+        assert not report.ok
+        assert [c.name for c in report.failures] == ["bad"]
+        assert "bad" in report.summary()
+        with pytest.raises(VerificationError, match="bad"):
+            report.raise_on_failure()
+
+    def test_verify_run_bundles_all_families(self, built_elasticity):
+        p, _, m = built_elasticity
+        res = gmres(p.a, p.b, preconditioner=m, rtol=1e-7)
+        report = verify_run(
+            p.a, p.b, res.x, res.residual_norms, m,
+            nullspace=rigid_body_modes(p.coordinates),
+        )
+        assert report.ok, report.summary()
+        names = {c.name for c in report.checks}
+        assert "residual/recurrence_drift" in names
+        assert "overlap/symmetry" in names
+        assert "coarse/partition_of_unity" in names
+
+
+class TestSolverSessionVerify:
+    @pytest.mark.parametrize("precision", ["double", "single"])
+    def test_elasticity_passes_both_precisions(
+        self, small_elasticity, precision
+    ):
+        session = SolverSession(
+            small_elasticity,
+            config=SchwarzConfig(precision=precision),
+            verify=True,
+        )
+        result = session.solve()
+        assert result.converged
+        assert result.verification is not None
+        assert result.verification.ok, result.verification.summary()
+        names = {c.name for c in result.verification.checks}
+        assert "krylov/orthogonality" in names
+
+    @pytest.mark.parametrize("precision", ["double", "single"])
+    def test_laplace_passes_both_precisions(self, small_laplace, precision):
+        session = SolverSession(
+            small_laplace,
+            config=SchwarzConfig(precision=precision),
+            verify=True,
+        )
+        result = session.solve()
+        assert result.converged
+        assert result.verification.ok, result.verification.summary()
+
+    def test_verify_off_records_nothing(self, small_laplace):
+        result = SolverSession(small_laplace).solve()
+        assert result.verification is None
+
+    def test_diff_and_audit_ride_along(self, small_laplace):
+        config = VerifyConfig(diff_distributed=True, audit_cost_model=True)
+        result = SolverSession(small_laplace, verify=config).solve()
+        report = result.verification
+        assert report.ok, report.summary()
+        names = {c.name for c in report.checks}
+        assert any(n.startswith("diff/") for n in names)
+        assert any(n.startswith("audit/") for n in names)

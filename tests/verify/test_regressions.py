@@ -1,0 +1,84 @@
+"""Regression proofs: repro.verify catches the fixed bugs when reverted.
+
+Each test re-creates a pre-fix code path (by monkeypatching the shipped
+fix away) and asserts the invariant suite flags the resulting breakage
+-- the acceptance contract of the verification subsystem.
+"""
+
+import importlib
+
+import numpy as np
+
+from repro.verify import GmresInvariantObserver, VerifyConfig
+
+# the package re-exports the gmres *function* under the submodule's
+# name, so attribute access cannot reach the module itself
+gmres_mod = importlib.import_module("repro.krylov.gmres")
+
+
+class TestOrthogonalityRegression:
+    def test_observer_confirms_fixed_scheme(self, built_elasticity):
+        p, _, m = built_elasticity
+        obs = GmresInvariantObserver()
+        res = gmres_mod.gmres(
+            p.a, p.b, preconditioner=m, rtol=1e-7, observer=obs
+        )
+        assert res.converged
+        config = VerifyConfig()
+        assert obs.max_ortho_loss <= config.orthogonality_tol
+        checks = obs.checks(config, beta0=res.residual_norms[0])
+        assert all(c.ok for c in checks), "\n".join(map(str, checks))
+
+    def test_observer_catches_disabled_reorthogonalization(
+        self, built_elasticity, monkeypatch
+    ):
+        # pre-fix behavior: the selective second pass effectively never
+        # fired, so single-pass CGS error compounded across the cycle;
+        # the orthogonality invariant must flag the collapsed basis
+        p, _, m = built_elasticity
+        monkeypatch.setattr(gmres_mod, "_ORTHO_LOSS_BUDGET", np.inf)
+        obs = GmresInvariantObserver()
+        gmres_mod.gmres(p.a, p.b, preconditioner=m, rtol=1e-7, observer=obs)
+        config = VerifyConfig()
+        assert obs.max_ortho_loss > config.orthogonality_tol
+        ortho = next(
+            c
+            for c in obs.checks(config)
+            if c.name == "krylov/orthogonality"
+        )
+        assert not ortho.ok
+
+
+class TestBreakdownRegression:
+    def test_prefix_zero_hnext_wastes_cycles(
+        self, built_elasticity, monkeypatch
+    ):
+        # pre-fix _orthogonalize reported hnext = 0 whenever rounding
+        # drove the reorthogonalized Pythagorean estimate non-positive,
+        # which the outer loop reads as a lucky breakdown and ends the
+        # cycle.  Force that rounding outcome at one mid-cycle iteration
+        # and compare the two responses: the fixed fallback (an explicit
+        # norm) completes the cycle; the pre-fix zero throws the rest of
+        # every cycle away.
+        p, _, m = built_elasticity
+        fixed = gmres_mod._orthogonalize
+
+        def forced(prefix):
+            def orth(variant, v, w, red, state=None):
+                h, hnext, w2 = fixed(variant, v, w, red, state)
+                if v.shape[0] == 8:  # the estimate rounding killed
+                    explicit = float(np.linalg.norm(w2))
+                    return h, (0.0 if prefix else explicit), w2
+                return h, hnext, w2
+
+            return orth
+
+        monkeypatch.setattr(gmres_mod, "_orthogonalize", forced(False))
+        good = gmres_mod.gmres(p.a, p.b, preconditioner=m, rtol=1e-7)
+        monkeypatch.setattr(gmres_mod, "_orthogonalize", forced(True))
+        bad = gmres_mod.gmres(p.a, p.b, preconditioner=m, rtol=1e-7)
+
+        assert good.converged and good.restarts == 0
+        # every pre-fix cycle dies spuriously at its 8th iteration
+        assert bad.restarts > 0
+        assert bad.iterations >= good.iterations
