@@ -63,8 +63,14 @@ from repro.fem import (
     rigid_body_modes,
     translations_only,
 )
-from repro.krylov import ReduceCounter, cg, gmres
+from repro.krylov import ReduceCounter, SolveStatus, cg, gmres
 from repro.obs import Tracer, get_tracer, use_tracer
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    HealthReport,
+    ResilienceConfig,
+)
 from repro.runtime import JobLayout, SolverTimings, time_solver, trace_solver
 from repro.sparse import CsrMatrix
 
@@ -73,15 +79,20 @@ __version__ = "1.0.0"
 __all__ = [
     "CsrMatrix",
     "Decomposition",
+    "FaultPlan",
+    "FaultSpec",
     "GDSWPreconditioner",
     "HalfPrecisionOperator",
+    "HealthReport",
     "JobLayout",
     "KrylovConfig",
     "LocalSolverSpec",
     "OneLevelSchwarz",
     "ReduceCounter",
+    "ResilienceConfig",
     "SchwarzConfig",
     "SessionResult",
+    "SolveStatus",
     "SolverSession",
     "SolverTimings",
     "StructuredGrid",

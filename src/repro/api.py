@@ -42,7 +42,7 @@ from repro.dd.local_solvers import LocalSolverSpec
 from repro.dd.precision import HalfPrecisionOperator, round_to_single
 from repro.dd.two_level import GDSWPreconditioner
 from repro.fem import constant_nullspace, rigid_body_modes
-from repro.krylov import cg, gmres, pipelined_cg
+from repro.krylov import SolveStatus, cg, gmres, pipelined_cg
 from repro.krylov.gmres import GMRES_VARIANTS
 from repro.obs import Span, Tracer, use_tracer
 from repro.obs.export import chrome_trace_json, phase_table, to_jsonl
@@ -182,6 +182,12 @@ class SessionResult:
     #: :class:`repro.verify.VerificationReport` when the session was
     #: constructed with ``verify=``; None otherwise
     verification: Optional[object] = None
+    #: terminal :class:`~repro.krylov.status.SolveStatus`; ``recovered``
+    #: when the solve converged only after resilience actions
+    status: SolveStatus = SolveStatus.MAXITER
+    #: :class:`repro.resilience.engine.HealthReport` when the session
+    #: was constructed with ``resilience=``; None otherwise
+    health: Optional[object] = None
 
     def timings(self, layout):
         """Price this run under a :class:`~repro.runtime.layout.JobLayout`.
@@ -240,6 +246,16 @@ class SolverSession:
         ``SessionResult.verification``; in strict mode (the config
         default) a failed check raises
         :class:`~repro.verify.VerificationError`.
+    resilience:
+        ``False`` (default) solves without the breakdown-tolerant
+        runtime.  ``True`` enables it with defaults; a
+        :class:`~repro.resilience.ResilienceConfig` selects the
+        detection/recovery knobs and an optional
+        :class:`~repro.resilience.FaultPlan` to inject.  The
+        :class:`~repro.resilience.HealthReport` lands on
+        ``SessionResult.health`` and ``SessionResult.status`` reads
+        ``"recovered"`` when the solve converged only thanks to
+        recovery actions.
     """
 
     def __init__(
@@ -251,6 +267,7 @@ class SolverSession:
         nullspace: Optional[np.ndarray] = None,
         tracer: Optional[Tracer] = None,
         verify: object = False,
+        resilience: object = False,
     ) -> None:
         for attr in ("a", "b"):
             if not hasattr(problem, attr):
@@ -274,6 +291,11 @@ class SolverSession:
 
             verify = VerifyConfig()
         self.verify: object = verify or None
+        if resilience is True:
+            from repro.resilience.engine import ResilienceConfig
+
+            resilience = ResilienceConfig()
+        self.resilience: object = resilience or None
 
     # ------------------------------------------------------------------
     def nullspace(self) -> np.ndarray:
@@ -284,11 +306,17 @@ class SolverSession:
             return rigid_body_modes(self.problem.coordinates)
         return constant_nullspace(self.problem.a.n_rows)
 
-    def build_preconditioner(self):
-        """Build the (possibly precision-wrapped) preconditioner only."""
+    def build_preconditioner(self, precision: Optional[str] = None):
+        """Build the (possibly precision-wrapped) preconditioner only.
+
+        ``precision`` overrides the config's working precision -- the
+        resilience engine uses it to rebuild in double after a float32
+        overflow.
+        """
         cfg = self.config
         problem = self.problem
-        if cfg.precision == "single":
+        precision = precision or cfg.precision
+        if precision == "single":
             import copy
 
             a = problem.a
@@ -311,75 +339,161 @@ class SolverSession:
             coarse_solver=cfg.coarse_solver,
             multilevel_parts=cfg.multilevel_parts,
         )
-        if cfg.precision == "single":
+        if precision == "single":
             return HalfPrecisionOperator(precond)
         return precond
 
+    def _run_krylov(self, operator, rtol, maxiter, x0, observer, engine):
+        """One Krylov attempt (the retry loop may issue several)."""
+        kry = self.krylov
+        problem = self.problem
+        guard = engine.guard() if engine is not None else None
+        if kry.method == "gmres":
+            return gmres(
+                problem.a,
+                problem.b,
+                preconditioner=operator,
+                x0=x0,
+                rtol=rtol,
+                restart=kry.restart,
+                maxiter=maxiter,
+                variant=kry.variant,
+                observer=observer,
+                guard=guard,
+            )
+        if kry.method == "cg":
+            return cg(
+                problem.a,
+                problem.b,
+                preconditioner=operator,
+                x0=x0,
+                rtol=rtol,
+                maxiter=maxiter,
+                guard=guard,
+            )
+        return pipelined_cg(
+            problem.a,
+            problem.b,
+            preconditioner=operator,
+            x0=x0,
+            rtol=rtol,
+            maxiter=maxiter,
+            guard=guard,
+        )
+
     def solve(self) -> SessionResult:
-        """Build the preconditioner and run the Krylov solve, traced."""
+        """Build the preconditioner and run the Krylov solve, traced.
+
+        With ``resilience=``, a breakdown caught by the Krylov health
+        guard re-enters the solve through the engine's session-level
+        recovery: ladder escalations and precision promotion are applied
+        and the iteration restarts from the last finite iterate, until
+        the solve converges or the restart budget is spent.
+        """
         kry = self.krylov
         problem = self.problem
         tracer = self.tracer or Tracer()
+        engine = None
+        if self.resilience is not None:
+            engine = self.resilience.make_engine()
         observer = None
-        if self.verify is not None and kry.method == "gmres":
+        if (
+            self.verify is not None
+            and kry.method == "gmres"
+            and (engine is None or engine.plan is None)
+        ):
+            # injected faults violate the Krylov invariants by design,
+            # so the invariant observer stays off in chaos runs
             from repro.verify import GmresInvariantObserver
 
             observer = GmresInvariantObserver()
-        with use_tracer(tracer):
+        from repro.resilience.context import use_engine
+        from repro.resilience.engine import GuardedOperator
+
+        with use_tracer(tracer), use_engine(engine):
             with tracer.span("setup") as sp:
                 sp.annotate(config=self.config.describe(),
                             partition=str(self.partition))
                 operator = self.build_preconditioner()
+                if engine is not None:
+                    operator = GuardedOperator(operator, engine)
 
             with tracer.span("krylov") as sp:
                 sp.annotate(method=kry.method)
                 # the Krylov iteration always runs in working (double)
                 # precision on the unrounded operator
-                if kry.method == "gmres":
-                    res = gmres(
-                        problem.a,
-                        problem.b,
-                        preconditioner=operator,
-                        rtol=kry.rtol,
-                        restart=kry.restart,
-                        maxiter=kry.maxiter,
-                        variant=kry.variant,
-                        observer=observer,
+                res = self._run_krylov(
+                    operator, kry.rtol, kry.maxiter, None, observer, engine
+                )
+                iterations = res.iterations
+                residual_norms = list(res.residual_norms)
+                # the convergence target stays anchored to the FIRST
+                # run's initial residual across restarts
+                target_abs = kry.rtol * residual_norms[0] \
+                    if residual_norms else 0.0
+                while (
+                    engine is not None
+                    and not res.converged
+                    and res.breakdown_reason is not None
+                ):
+                    plan = engine.plan_recovery(res.breakdown_reason)
+                    if plan is None:
+                        break
+                    if plan == "promote_precision":
+                        with tracer.span("resilience/promote") as rp:
+                            rp.annotate(reason="float32 overflow")
+                            # the discarded single-precision setup still
+                            # happened: re-bill it before rebuilding
+                            engine.bill_full_setup(operator.inner)
+                            operator = GuardedOperator(
+                                self.build_preconditioner(precision="double"),
+                                engine,
+                            )
+                    remaining = kry.maxiter - iterations
+                    if remaining < 1:
+                        break
+                    x0 = res.x
+                    rtol_eff = kry.rtol
+                    if np.all(np.isfinite(x0)):
+                        rnow = float(np.linalg.norm(
+                            problem.a.matvec(x0) - problem.b
+                        ))
+                        rtol_eff = target_abs / max(rnow, 1e-300)
+                    else:  # guard missed: restart cold
+                        x0 = None
+                    res = self._run_krylov(
+                        operator, rtol_eff, remaining, x0, observer, engine
                     )
-                elif kry.method == "cg":
-                    res = cg(
-                        problem.a,
-                        problem.b,
-                        preconditioner=operator,
-                        rtol=kry.rtol,
-                        maxiter=kry.maxiter,
-                    )
-                else:
-                    res = pipelined_cg(
-                        problem.a,
-                        problem.b,
-                        preconditioner=operator,
-                        rtol=kry.rtol,
-                        maxiter=kry.maxiter,
-                    )
+                    iterations += res.iterations
+                    residual_norms.extend(res.residual_norms)
         tracer.finish()
 
         relres = float(
             np.linalg.norm(problem.a.matvec(res.x) - problem.b)
             / max(np.linalg.norm(problem.b), 1e-300)
         )
-        inner = operator.inner if isinstance(operator, HalfPrecisionOperator) \
+        base = operator.inner if isinstance(operator, GuardedOperator) \
             else operator
+        inner = base.inner if isinstance(base, HalfPrecisionOperator) \
+            else base
+        status = getattr(res, "status", SolveStatus.MAXITER)
+        health = None
+        if engine is not None:
+            if res.converged and (engine.actions or engine.restarts):
+                status = SolveStatus.RECOVERED
+            health = engine.report(str(status))
         verification = None
         if self.verify is not None:
             from repro.verify import verify_run
 
+            # the unwrapped operator: a GuardedOperator would re-apply
+            # its faults inside the verification solves
             verification = verify_run(
                 problem.a,
                 problem.b,
                 res.x,
                 res.residual_norms,
-                operator,
+                base,
                 config=self.verify,
                 nullspace=self.nullspace(),
                 observer=observer,
@@ -388,9 +502,9 @@ class SolverSession:
                 verification.raise_on_failure()
         return SessionResult(
             x=res.x,
-            iterations=res.iterations,
+            iterations=iterations,
             converged=res.converged,
-            residual_norms=res.residual_norms,
+            residual_norms=residual_norms,
             reduces=tracer.reduces,
             reduce_doubles=tracer.reduce_doubles,
             final_relres=relres,
@@ -399,4 +513,6 @@ class SolverSession:
             precond=operator,
             trace=tracer.root,
             verification=verification,
+            status=status,
+            health=health,
         )

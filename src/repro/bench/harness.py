@@ -131,6 +131,9 @@ class NumericsRecord:
     n_coarse: int
     n_ranks: int
     final_relres: float
+    #: terminal :class:`~repro.krylov.status.SolveStatus` of the run
+    #: (``"converged"`` / ``"maxiter"`` / ``"breakdown"``)
+    status: str = "maxiter"
     trace: object = field(default=None, repr=False, compare=False)
     #: cost-model audit verdict (``repro.verify.CostModelAudit``);
     #: populated lazily by :func:`audit_record`
@@ -229,6 +232,7 @@ def run_numerics(
         n_coarse=precond.n_coarse,
         n_ranks=dec.n_subdomains,
         final_relres=relres,
+        status=str(res.status),
         trace=tracer.root,
     )
     _NUMERICS_CACHE[key] = rec

@@ -21,13 +21,62 @@ from __future__ import annotations
 import numpy as np
 
 from repro.machine.kernels import KernelProfile
+from repro.obs import get_tracer
+from repro.resilience.context import get_engine
+from repro.resilience.detect import FloatOverflowError
 
 __all__ = ["HalfPrecisionOperator", "round_to_single"]
 
+_F32_MAX = float(np.finfo(np.float32).max)
+_F32_TINY = float(np.finfo(np.float32).tiny)
 
-def round_to_single(values: np.ndarray) -> np.ndarray:
-    """Round float64 values through float32 (precision emulation)."""
-    return np.asarray(values, dtype=np.float64).astype(np.float32).astype(np.float64)
+
+def round_to_single(values: np.ndarray, on_overflow: str = "raise") -> np.ndarray:
+    """Round float64 values through float32 (precision emulation).
+
+    Finite values beyond float32 range used to become silent ``inf``
+    (poisoning the coarse solve); now they raise
+    :class:`~repro.resilience.detect.FloatOverflowError`
+    (``on_overflow="raise"``, the default), are clamped to the float32
+    max with a ``precision_overflow_clamped`` trace counter
+    (``"clamp"``), or are left as ``inf`` (``"ignore"``, the seed
+    behavior).  Nonzero values flushed into the float32 subnormal range
+    (or to zero) are counted as ``precision_subnormal_flush`` -- they
+    lose relative accuracy but stay finite, so they never raise.
+    """
+    if on_overflow not in ("raise", "clamp", "ignore"):
+        raise ValueError(
+            f"unknown on_overflow policy {on_overflow!r}; valid values: "
+            "'raise', 'clamp', 'ignore'"
+        )
+    arr = np.asarray(values, dtype=np.float64)
+    out = arr.astype(np.float32)
+    if on_overflow != "ignore":
+        overflowed = np.isinf(out) & np.isfinite(arr)
+        n_over = int(np.count_nonzero(overflowed))
+        if n_over:
+            max_abs = float(np.max(np.abs(arr[overflowed])))
+            if on_overflow == "raise":
+                raise FloatOverflowError(
+                    f"float32 overflow in round_to_single: {n_over} finite "
+                    f"values (max magnitude {max_abs:.3e}) exceed the "
+                    f"float32 range ({_F32_MAX:.3e}); scale the system or "
+                    f"use on_overflow='clamp'",
+                    count=n_over,
+                    max_abs=max_abs,
+                    where="round_to_single",
+                )
+            np.copyto(
+                out,
+                (np.sign(arr) * _F32_MAX).astype(np.float32),
+                where=overflowed,
+            )
+            get_tracer().count("precision_overflow_clamped", float(n_over))
+        flushed = (np.abs(out) < _F32_TINY) & (arr != 0.0)
+        n_flush = int(np.count_nonzero(flushed))
+        if n_flush:
+            get_tracer().count("precision_subnormal_flush", float(n_flush))
+    return out.astype(np.float64)
 
 
 class HalfPrecisionOperator:
@@ -48,10 +97,44 @@ class HalfPrecisionOperator:
         self.inner = inner
 
     def apply(self, v: np.ndarray) -> np.ndarray:
-        """Cast down, apply the inner operator, cast back up."""
-        v32 = np.asarray(v, dtype=np.float32)
-        y = self.inner.apply(v32.astype(np.float64))
-        return y.astype(np.float32).astype(np.float64)
+        """Cast down, apply the inner operator, cast back up.
+
+        When a resilience engine with detection is active, a finite
+        value overflowing the float32 cast raises
+        :class:`~repro.resilience.detect.FloatOverflowError` (the
+        recovery ladder responds by promoting the preconditioner back
+        to double precision); otherwise the overflow stays silent, the
+        seed behavior.
+        """
+        eng = get_engine()
+        detect = eng is not None and eng.detect
+        v64 = np.asarray(v, dtype=np.float64)
+        # the casts handle out-of-range values themselves (check or
+        # propagate inf): numpy's own cast-overflow warning is noise here
+        with np.errstate(over="ignore"):
+            v32 = v64.astype(np.float32)
+            if detect:
+                self._check_cast(v64, v32, "input")
+            y = self.inner.apply(v32.astype(np.float64))
+            y32 = y.astype(np.float32)
+        if detect:
+            self._check_cast(y, y32, "output")
+        return y32.astype(np.float64)
+
+    @staticmethod
+    def _check_cast(full: np.ndarray, cast: np.ndarray, where: str) -> None:
+        overflowed = np.isinf(cast) & np.isfinite(full)
+        n_over = int(np.count_nonzero(overflowed))
+        if n_over:
+            max_abs = float(np.max(np.abs(full[overflowed])))
+            raise FloatOverflowError(
+                f"float32 overflow in the half-precision preconditioner "
+                f"{where} cast: {n_over} values, max magnitude "
+                f"{max_abs:.3e}",
+                count=n_over,
+                max_abs=max_abs,
+                where=f"half_precision_{where}",
+            )
 
     # ------------------------------------------------------------------
     def _cast_kernels(self, n: int) -> KernelProfile:

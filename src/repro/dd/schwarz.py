@@ -18,6 +18,7 @@ from repro.dd.local_solvers import FactoredLocal, LocalSolverSpec
 from repro.dd.overlap import overlapping_subdomains
 from repro.machine.kernels import KernelProfile
 from repro.obs import get_tracer
+from repro.resilience.context import get_engine
 from repro.sparse.blocks import extract_submatrix
 from repro.sparse.csr import CsrMatrix
 
@@ -74,12 +75,21 @@ class OneLevelSchwarz:
             ]
         self.locals: List[FactoredLocal] = []
         self.matrices: List[CsrMatrix] = []
+        eng = get_engine()
+        if eng is not None:
+            eng.register_one_level(self)
         for rank, dofs in enumerate(self.dof_sets):
             with tr.span("setup/local_factor", rank=rank) as sp:
                 sp.annotate(solver=spec.describe(), n=int(dofs.size))
                 a_i = extract_submatrix(dec.a, dofs, dofs)
+                if eng is not None:
+                    # resilience hooks: fault injection, breakdown
+                    # capture, and the per-subdomain escalation ladder
+                    a_i, loc = eng.build_local(rank, spec, a_i)
+                else:
+                    loc = spec.build(a_i)
                 self.matrices.append(a_i)
-                self.locals.append(spec.build(a_i))
+                self.locals.append(loc)
 
         # halo sizes: dofs in the overlapping set not owned by the rank
         self.halo_doubles = []
@@ -108,8 +118,14 @@ class OneLevelSchwarz:
         with get_tracer().span("apply/local_solve") as sp:
             sp.count("local_solves", float(len(self.dof_sets)))
             out = np.zeros_like(np.asarray(v, dtype=np.float64))
+            eng = get_engine()
             for rank, dofs in enumerate(self.dof_sets):
-                x_i = self.locals[rank].apply(v[dofs])
+                v_i = v[dofs]
+                if eng is not None:
+                    v_i = eng.filter_restrict(rank, v_i)
+                x_i = self.locals[rank].apply(v_i)
+                if eng is not None:
+                    x_i = eng.check_local_solution(rank, x_i)
                 if self._weights is not None:
                     x_i = x_i * self._weights[rank]
                 np.add.at(out, dofs, x_i)

@@ -33,6 +33,7 @@ from repro.dd.local_solvers import LocalSolverSpec
 from repro.dd.schwarz import OneLevelSchwarz
 from repro.machine.kernels import KernelProfile
 from repro.obs import get_tracer
+from repro.resilience.context import get_engine
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.spgemm import spgemm, spgemm_flops
 
@@ -194,6 +195,9 @@ class GDSWPreconditioner:
                 sp.count("coarse_dim", float(self.n_coarse))
                 vc = self.phi.rmatvec(v)
                 xc = self.coarse.apply(vc)
+                eng = get_engine()
+                if eng is not None:
+                    xc = eng.check_coarse(xc)
                 out = out + self.phi.matvec(xc)
         return out
 

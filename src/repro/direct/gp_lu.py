@@ -177,11 +177,25 @@ class GilbertPeierlsLU(DirectSolver):
             # ---- pivot selection among unpivoted pattern rows ----
             unpiv = np.asarray(unpiv_list, dtype=np.int64)
             if unpiv.size == 0:
-                raise ZeroDivisionError(f"structurally singular at column {k}")
+                from repro.resilience.detect import PivotBreakdownError
+
+                raise PivotBreakdownError(
+                    f"superlu: structurally singular at column {k}",
+                    index=int(k),
+                    solver="superlu",
+                )
             cand_vals = np.abs(x[unpiv])
             vmax = cand_vals.max()
             if vmax <= tiny:
-                raise ZeroDivisionError(f"numerically singular at column {k}")
+                from repro.resilience.detect import PivotBreakdownError
+
+                raise PivotBreakdownError(
+                    f"superlu: numerically singular at column {k} "
+                    f"(column max {vmax:.3e} <= {tiny:.3e})",
+                    index=int(k),
+                    value=float(vmax),
+                    solver="superlu",
+                )
             ipiv = int(unpiv[np.argmax(cand_vals)])
             # threshold rule: keep the diagonal (row k of the permuted
             # matrix) when it is large enough relative to the column max

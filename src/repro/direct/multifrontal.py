@@ -188,7 +188,20 @@ class MultifrontalCholesky(DirectSolver):
             f11 = front[:w, :w]
             f21 = front[w:, :w]
             if self.mode == "cholesky":
-                l11 = np.linalg.cholesky(f11)
+                try:
+                    l11 = np.linalg.cholesky(f11)
+                except np.linalg.LinAlgError as err:
+                    from repro.resilience.detect import PivotBreakdownError
+
+                    # pivot-free factorization: a non-positive pivot is
+                    # fatal here; the resilience ladder responds with a
+                    # diagonal shift or a pivoting-LU fallback
+                    raise PivotBreakdownError(
+                        f"tacho: Cholesky breakdown in supernode {s} "
+                        f"(columns {c0}:{c1}): {err}",
+                        index=int(c0),
+                        solver="tacho",
+                    ) from err
                 from scipy.linalg import solve_triangular
 
                 l21 = (
@@ -285,15 +298,26 @@ class MultifrontalCholesky(DirectSolver):
 
 
 def _dense_ldlt(a: np.ndarray):
-    """Dense LDL^T without pivoting; returns unit-lower ``L`` and ``d``."""
+    """Dense LDL^T without pivoting; returns unit-lower ``L`` and ``d``.
+
+    Raises :class:`~repro.resilience.detect.PivotBreakdownError` (a
+    ``ZeroDivisionError`` subclass) on an exactly-zero pivot -- or, when
+    a resilience engine with detection is active, on a *near*-zero
+    pivot relative to the front's diagonal scale.
+    """
+    from repro.resilience.context import get_engine
+    from repro.resilience.detect import check_pivot
+
+    eng = get_engine()
+    pivot_rtol = eng.pivot_rtol if eng is not None else 0.0
     n = a.shape[0]
+    scale = float(np.max(np.abs(np.diag(a)))) if n else 1.0
     l = np.eye(n)
     d = np.empty(n)
     a = a.copy()
     for j in range(n):
         d[j] = a[j, j]
-        if d[j] == 0.0:
-            raise ZeroDivisionError(f"zero pivot in LDL^T at {j}")
+        check_pivot(float(d[j]), scale, j, "tacho-ldlt", rtol=pivot_rtol)
         l[j + 1 :, j] = a[j + 1 :, j] / d[j]
         a[j + 1 :, j + 1 :] -= np.outer(l[j + 1 :, j], l[j + 1 :, j]) * d[j]
     return l, d

@@ -22,12 +22,18 @@ of the single fused GPU kernel.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.ilu.iluk import iluk_symbolic, _scatter_to_pattern
 from repro.machine.kernels import KernelProfile
+from repro.resilience.context import get_engine
+from repro.resilience.detect import (
+    DivergenceError,
+    PivotBreakdownError,
+    sweep_divergence,
+)
 from repro.sparse.csr import CsrMatrix
 
 __all__ = ["FastIlu"]
@@ -50,7 +56,14 @@ class FastIlu:
         diverge on stiff elasticity blocks.
 
     After :meth:`numeric`: ``l`` (strict lower, unit diagonal implicit)
-    and ``u`` (upper with diagonal) hold the approximate factors.
+    and ``u`` (upper with diagonal) hold the approximate factors,
+    ``update_norms`` the per-sweep damped update magnitudes
+    ``||dL|| + ||dU||``, and ``diverged`` whether those norms grew
+    instead of contracting (the divergence detector of
+    :func:`repro.resilience.detect.sweep_divergence`; under an active
+    resilience engine with detection a diverging factorization raises
+    :class:`~repro.resilience.detect.DivergenceError` so the recovery
+    ladder can boost damping or fall back).
     """
 
     def __init__(
@@ -74,6 +87,8 @@ class FastIlu:
         self.symbolic_profile = KernelProfile()
         self.numeric_profile = KernelProfile()
         self._symbolic_done = False
+        self.update_norms: List[float] = []
+        self.diverged = False
 
     # ------------------------------------------------------------------
     def symbolic(self, a: CsrMatrix) -> "FastIlu":
@@ -202,11 +217,21 @@ class FastIlu:
         # initial guess: scale L columns by the diagonal of A
         diag_a = u_vals[self._diag_pos]
         if np.any(diag_a == 0):
-            raise ZeroDivisionError("zero diagonal in FastILU initial guess")
+            bad = int(np.flatnonzero(diag_a == 0)[0])
+            raise PivotBreakdownError(
+                "zero diagonal in FastILU initial guess at row "
+                f"{bad}",
+                index=bad,
+                value=0.0,
+                solver="fastilu",
+            )
         l_vals = l_vals / diag_a[l_cols]
 
+        eng = get_engine()
+        self.update_norms = []
+        self.diverged = False
         n_seg = self._seg_starts.size
-        for _ in range(self.sweeps):
+        for sweep in range(self.sweeps):
             prods = l_vals[self._gather_l] * u_vals[self._gather_u]
             sums = np.add.reduceat(prods, self._seg_starts) if n_seg else np.empty(0)
             # scatter segment sums to S entries
@@ -217,7 +242,13 @@ class FastIlu:
             c_u = c[~lower_mask]
             u_diag = u_vals[self._diag_pos]
             if np.any(u_diag == 0):
-                raise ZeroDivisionError("zero pivot during FastILU sweep")
+                bad = int(np.flatnonzero(u_diag == 0)[0])
+                raise PivotBreakdownError(
+                    f"zero pivot during FastILU sweep at row {bad}",
+                    index=bad,
+                    value=0.0,
+                    solver="fastilu",
+                )
             # damped Jacobi update from the *previous* iterate; the
             # undamped synchronous iteration can diverge on stiff
             # elasticity blocks (the asynchronous GPU implementation
@@ -227,8 +258,29 @@ class FastIlu:
             new_l = (a_l - (c_l - l_vals * u_diag[l_cols])) / u_diag[l_cols]
             new_u = a_u - c_u
             w = self.damping
+            prev_l, prev_u = l_vals, u_vals
             l_vals = (1.0 - w) * l_vals + w * new_l
             u_vals = (1.0 - w) * u_vals + w * new_u
+            # divergence monitor: the damped update magnitude contracts
+            # for a converging iteration and grows geometrically on the
+            # stiff blocks where the synchronous sweeps diverge
+            self.update_norms.append(
+                float(np.linalg.norm(l_vals - prev_l))
+                + float(np.linalg.norm(u_vals - prev_u))
+            )
+            if eng is not None:
+                # fault injection (fastilu_divergence): amplify iterates
+                l_vals, u_vals = eng.fastilu_perturb(sweep, l_vals, u_vals)
+
+        growth_tol = eng.growth_tol if eng is not None else 10.0
+        self.diverged = sweep_divergence(self.update_norms, growth_tol)
+        if self.diverged and eng is not None and eng.detect:
+            raise DivergenceError(
+                "FastILU Jacobi sweeps diverged: per-sweep update norms "
+                + ", ".join(f"{x:.3e}" for x in self.update_norms),
+                norms=self.update_norms,
+                solver="fastilu",
+            )
 
         self.l = CsrMatrix(
             self._l_skel.indptr, self._l_skel.indices, l_vals, (n, n)

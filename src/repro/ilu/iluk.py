@@ -151,6 +151,15 @@ class IlukFactorization:
         # values of A scattered onto the pattern
         vals = _scatter_to_pattern(ap, pptr, pind)
 
+        # pivot health: exact-zero check by default; an active
+        # resilience engine upgrades it to a relative near-zero test
+        from repro.resilience.context import get_engine
+        from repro.resilience.detect import check_pivot
+
+        eng = get_engine()
+        pivot_rtol = eng.pivot_rtol if eng is not None else 0.0
+        diag_scale = float(np.max(np.abs(a.diagonal()))) if a.n_rows else 1.0
+
         # U rows stored per-row for the update loop
         u_cols: List[np.ndarray] = [None] * n  # type: ignore[list-item]
         u_vals: List[np.ndarray] = [None] * n  # type: ignore[list-item]
@@ -177,8 +186,19 @@ class IlukFactorization:
             upper_sel = cols >= i
             u_cols[i] = cols[upper_sel]
             u_vals[i] = row_vals[upper_sel]
-            if u_cols[i].size == 0 or u_cols[i][0] != i or u_vals[i][0] == 0.0:
-                raise ZeroDivisionError(f"zero pivot in ILU at row {i}")
+            if u_cols[i].size == 0 or u_cols[i][0] != i:
+                from repro.resilience.detect import PivotBreakdownError
+
+                raise PivotBreakdownError(
+                    f"zero pivot in ILU at row {i} (diagonal missing "
+                    f"from the pattern)",
+                    index=i,
+                    value=0.0,
+                    solver="iluk",
+                )
+            check_pivot(
+                float(u_vals[i][0]), diag_scale, i, "iluk", rtol=pivot_rtol
+            )
             # clear the work array: pattern cols plus everything we touched
             w[cols] = 0.0
             for k in lower.tolist():

@@ -30,12 +30,14 @@ from repro.krylov.gmres import gmres, GmresResult
 from repro.krylov.cg import cg, CgResult
 from repro.krylov.pipelined import pipelined_cg, PipelinedCgResult
 from repro.krylov.reduce import ReduceCounter
+from repro.krylov.status import SolveStatus
 
 __all__ = [
     "CgResult",
     "GmresResult",
     "PipelinedCgResult",
     "ReduceCounter",
+    "SolveStatus",
     "cg",
     "gmres",
     "pipelined_cg",

@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Union
 import numpy as np
 
 from repro.krylov.reduce import ReduceCounter
+from repro.krylov.status import SolveStatus
 from repro.obs import get_tracer
 from repro.sparse.csr import CsrMatrix
 
@@ -31,6 +32,8 @@ class CgResult:
     converged: bool
     residual_norms: List[float]
     reduces: int
+    status: SolveStatus = SolveStatus.MAXITER
+    breakdown_reason: Optional[str] = None
 
 
 def cg(
@@ -42,6 +45,7 @@ def cg(
     maxiter: int = 1000,
     reducer: Optional[ReduceCounter] = None,
     callback: Optional[Callable[[int, np.ndarray], None]] = None,
+    guard: Optional[object] = None,
 ) -> CgResult:
     """Solve SPD ``A x = b`` with preconditioned CG.
 
@@ -50,6 +54,10 @@ def cg(
     ``reducer`` is deprecated -- run under a :class:`repro.obs.Tracer`.
     ``callback(it, x)`` observes the iterate after every update (used by
     :mod:`repro.verify` to diff against the distributed iterates).
+    ``guard`` is an optional health monitor (see
+    :class:`repro.resilience.detect.KrylovGuard`): a non-None return
+    from ``on_residual`` stops the solve with ``status="breakdown"``
+    and rolls the iterate back to the last finite one.
     """
     from repro.krylov.gmres import _as_apply, _deprecated_reducer_warning
 
@@ -75,17 +83,25 @@ def cg(
     r0 = float(np.sqrt(red.allreduce(r @ r)[0]))
     residuals = [r0]
     if r0 == 0.0:
-        return CgResult(x, 0, True, residuals, red.count)
+        return CgResult(
+            x, 0, True, residuals, red.count, status=SolveStatus.CONVERGED
+        )
 
     it = 0
     converged = False
+    breakdown_reason: Optional[str] = None
     while it < maxiter:
         with tr.span("krylov/spmv"):
             ap = apply_a(p)
         pap = float(red.allreduce(p @ ap)[0])
+        if not np.isfinite(pap):
+            breakdown_reason = "nonfinite"
+            break
         if pap <= 0.0:
+            breakdown_reason = "indefinite"
             break  # loss of positive definiteness
         alpha = rz / pap
+        x_prev = x if guard is not None else None
         x = x + alpha * p
         r = r - alpha * ap
         it += 1
@@ -93,6 +109,13 @@ def cg(
             callback(it, x)
         rn = float(np.sqrt(red.allreduce(r @ r)[0]))
         residuals.append(rn)
+        if guard is not None:
+            reason = guard.on_residual(it, rn)
+            if reason is not None:
+                breakdown_reason = reason
+                if not np.all(np.isfinite(x)):
+                    x = x_prev  # roll back to the last finite iterate
+                break
         if rn <= rtol * r0:
             converged = True
             break
@@ -101,4 +124,18 @@ def cg(
         beta = rz_new / rz
         rz = rz_new
         p = z + beta * p
-    return CgResult(x, it, converged, residuals, red.count)
+    if converged:
+        status = SolveStatus.CONVERGED
+    elif breakdown_reason is not None:
+        status = SolveStatus.BREAKDOWN
+    else:
+        status = SolveStatus.MAXITER
+    return CgResult(
+        x,
+        it,
+        converged,
+        residuals,
+        red.count,
+        status=status,
+        breakdown_reason=breakdown_reason,
+    )

@@ -17,6 +17,7 @@ from typing import Callable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.krylov.reduce import ReduceCounter
+from repro.krylov.status import SolveStatus
 from repro.obs import get_tracer
 from repro.sparse.csr import CsrMatrix
 
@@ -65,6 +66,12 @@ class GmresResult:
         Every explicitly computed ``||b - A x||``, tagged with the
         inner-iteration count at which it was evaluated (the Belos-style
         convergence confirmations at cycle ends).
+    status:
+        Terminal :class:`~repro.krylov.status.SolveStatus`
+        (``converged`` / ``maxiter`` / ``breakdown``).
+    breakdown_reason:
+        What the health guard saw (``"nonfinite"`` / ``"stagnation"``)
+        when ``status == "breakdown"``; None otherwise.
     """
 
     x: np.ndarray
@@ -74,6 +81,8 @@ class GmresResult:
     reduces: int
     restarts: int
     true_residual_norms: List[Tuple[int, float]] = field(default_factory=list)
+    status: SolveStatus = SolveStatus.MAXITER
+    breakdown_reason: Optional[str] = None
 
 
 def _as_apply(op: Optional[Operator]):
@@ -95,6 +104,7 @@ def gmres(
     variant: str = "single_reduce",
     reducer: Optional[ReduceCounter] = None,
     observer: Optional[object] = None,
+    guard: Optional[object] = None,
 ) -> GmresResult:
     """Solve ``A x = b`` with right-preconditioned restarted GMRES.
 
@@ -129,6 +139,16 @@ def gmres(
         recurrence residual estimate, and -- when the cycle ended in an
         explicit residual test -- the computed ``||b - A x||``.  The
         hook costs nothing when None and issues no extra reductions.
+    guard:
+        Optional health monitor (see
+        :class:`repro.resilience.detect.KrylovGuard`): ``on_residual``
+        is fed every recurrence estimate; a non-None return stops the
+        solve with ``status="breakdown"``.  With a guard, a non-finite
+        Hessenberg column is caught *before* it enters the least-squares
+        update, so the returned iterate is assembled from finite basis
+        vectors only (the "last finite iterate" a restart resumes from).
+        Without a guard behavior is unchanged (NaNs propagate to
+        ``maxiter``, the seed behavior).
     """
     if variant not in GMRES_VARIANTS:
         raise ValueError(
@@ -156,12 +176,15 @@ def gmres(
     beta0 = float(np.sqrt(red.allreduce(r @ r)[0]))
     residuals = [beta0]
     if beta0 == 0.0:
-        return GmresResult(x, 0, True, residuals, red.count, 0)
+        return GmresResult(
+            x, 0, True, residuals, red.count, 0, status=SolveStatus.CONVERGED
+        )
     tol_abs = rtol * beta0
 
     total_iters = 0
     cycles = 0
     converged = False
+    breakdown_reason: Optional[str] = None
     true_residuals: List[Tuple[int, float]] = []
 
     while total_iters < maxiter and not converged:
@@ -192,6 +215,14 @@ def gmres(
                 hj, hnext, w = _orthogonalize(
                     variant, v[: j + 1], w, red, orth_state
                 )
+            if guard is not None and not (
+                np.all(np.isfinite(hj)) and np.isfinite(hnext)
+            ):
+                # stop BEFORE the broken column enters the least-squares
+                # problem: x below is assembled from z[:j_used] only, so
+                # the returned iterate stays finite for a restart.
+                breakdown_reason = "nonfinite"
+                break
             h[: j + 1, j] = hj
             h[j + 1, j] = hnext
             if hnext > 0:
@@ -215,6 +246,11 @@ def gmres(
             total_iters += 1
             j_used = j + 1
             residuals.append(abs(g[j + 1]))
+            if guard is not None:
+                reason = guard.on_residual(total_iters, abs(g[j + 1]))
+                if reason is not None:
+                    breakdown_reason = reason
+                    break
             if abs(g[j + 1]) <= tol_abs or hnext == 0.0:
                 converged = abs(g[j + 1]) <= tol_abs
                 break
@@ -241,7 +277,15 @@ def gmres(
                 estimate=abs(g[j_used]) if j_used else beta,
                 true_norm=true_norm,
             )
+        if breakdown_reason is not None:
+            break
 
+    if converged:
+        status = SolveStatus.CONVERGED
+    elif breakdown_reason is not None:
+        status = SolveStatus.BREAKDOWN
+    else:
+        status = SolveStatus.MAXITER
     return GmresResult(
         x,
         total_iters,
@@ -250,6 +294,8 @@ def gmres(
         red.count,
         max(cycles - 1, 0),
         true_residuals,
+        status=status,
+        breakdown_reason=breakdown_reason,
     )
 
 

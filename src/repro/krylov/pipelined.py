@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Union
 import numpy as np
 
 from repro.krylov.reduce import ReduceCounter
+from repro.krylov.status import SolveStatus
 from repro.obs import get_tracer
 from repro.sparse.csr import CsrMatrix
 
@@ -45,6 +46,8 @@ class PipelinedCgResult:
     residual_norms: List[float]
     reduces: int
     replacements: int
+    status: SolveStatus = SolveStatus.MAXITER
+    breakdown_reason: Optional[str] = None
 
 
 def pipelined_cg(
@@ -56,13 +59,16 @@ def pipelined_cg(
     maxiter: int = 1000,
     reducer: Optional[ReduceCounter] = None,
     replace_every: int = 50,
+    guard: Optional[object] = None,
 ) -> PipelinedCgResult:
     """Solve SPD ``A x = b`` with preconditioned pipelined CG.
 
     One batched global reduction per iteration (classical PCG issues
     two to three); ``replace_every`` controls the residual-replacement
     period.  ``reducer`` is deprecated -- run under a
-    :class:`repro.obs.Tracer`.
+    :class:`repro.obs.Tracer`.  ``guard`` is an optional health monitor
+    (see :class:`repro.resilience.detect.KrylovGuard`) stopping the
+    solve with ``status="breakdown"`` on NaN/stagnation.
     """
     from repro.krylov.gmres import _as_apply, _deprecated_reducer_warning
 
@@ -93,8 +99,10 @@ def pipelined_cg(
     r0 = None
     residuals: List[float] = []
     converged = False
+    breakdown_reason: Optional[str] = None
     replacements = 0
     it = 0
+    x_best = x
 
     while it < maxiter:
         # ONE batched reduction per iteration; in a real pipeline it
@@ -106,12 +114,22 @@ def pipelined_cg(
             r0 = rn
             residuals.append(rn)
             if r0 == 0.0:
-                return PipelinedCgResult(x, 0, True, residuals, red.count, 0)
+                return PipelinedCgResult(
+                    x, 0, True, residuals, red.count, 0,
+                    status=SolveStatus.CONVERGED,
+                )
         else:
             residuals.append(rn)
+        if guard is not None:
+            reason = guard.on_residual(it, rn if np.isfinite(rr) else np.nan)
+            if reason is not None:
+                breakdown_reason = reason
+                x = x_best  # roll back to the last finite iterate
+                break
         if rn <= rtol * r0:
             converged = True
             break
+        x_best = x
 
         m_vec = apply_m(w)
         with tr.span("krylov/spmv"):
@@ -128,6 +146,7 @@ def pipelined_cg(
             beta = gamma / gamma_old
             denom = delta - beta * gamma / alpha_old
             if denom == 0.0:
+                breakdown_reason = "indefinite"
                 break  # breakdown (loss of positive definiteness)
             alpha = gamma / denom
             z = n_vec + beta * z
@@ -157,4 +176,19 @@ def pipelined_cg(
     final = float(np.sqrt(red.allreduce(r @ r)[0]))
     residuals.append(final)
     converged = r0 is not None and final <= rtol * r0
-    return PipelinedCgResult(x, it, converged, residuals, red.count, replacements)
+    if converged:
+        status = SolveStatus.CONVERGED
+    elif breakdown_reason is not None:
+        status = SolveStatus.BREAKDOWN
+    else:
+        status = SolveStatus.MAXITER
+    return PipelinedCgResult(
+        x,
+        it,
+        converged,
+        residuals,
+        red.count,
+        replacements,
+        status=status,
+        breakdown_reason=breakdown_reason,
+    )

@@ -1,0 +1,37 @@
+"""Explicit terminal status of a Krylov solve.
+
+Callers used to infer the outcome from ``converged`` plus the tail of
+``residual_norms`` -- which cannot distinguish "ran out of iterations"
+from "the recurrence went NaN at iteration 12".  Every solver result
+now carries a :class:`SolveStatus`:
+
+* ``CONVERGED`` -- the (explicitly confirmed) residual met ``rtol``;
+* ``MAXITER`` -- the iteration cap was reached while still finite;
+* ``BREAKDOWN`` -- a health guard stopped the solve (non-finite
+  recurrence, stagnation, loss of positive definiteness); the reported
+  iterate is the last finite one;
+* ``RECOVERED`` -- session-level only: the solve converged after one or
+  more recovery actions (set by :class:`~repro.api.SolverSession`, never
+  by the raw solvers).
+
+The enum mixes in ``str``: ``result.status == "converged"`` works, and
+the values serialize cleanly into benchmark records.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["SolveStatus"]
+
+
+class SolveStatus(str, enum.Enum):
+    """Terminal state of a Krylov solve (see module docstring)."""
+
+    CONVERGED = "converged"
+    MAXITER = "maxiter"
+    BREAKDOWN = "breakdown"
+    RECOVERED = "recovered"
+
+    def __str__(self) -> str:  # "converged", not "SolveStatus.CONVERGED"
+        return self.value

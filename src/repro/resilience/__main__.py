@@ -1,0 +1,146 @@
+"""Chaos driver: the fault matrix as an executable check.
+
+``PYTHONPATH=src python -m repro.resilience`` runs every fault kind of
+:data:`~repro.resilience.inject.FAULT_KINDS` against a Laplace and an
+elasticity problem, each under two arms:
+
+* **resilient** -- detection and recovery on: the solve must reach the
+  session tolerance (``status`` ``converged`` or ``recovered``);
+* **control** -- the same faults with detection and recovery off: the
+  solve must demonstrably fail (non-converged residual or a raised
+  breakdown), proving the injected fault is real and the recovery is
+  doing the work.
+
+The seeds are fixed, so the matrix is deterministic; the CI ``chaos``
+job runs this module and fails on any unrecovered (or unexpectedly
+healthy) cell.  Exit status: 0 when every cell behaves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+
+import numpy as np
+
+__all__ = ["main", "run_matrix"]
+
+#: per-kind rank the fault lands on (subdomain 1 exists in every 2x2x2 box)
+_FAULT_RANK = 1
+_RTOL = 1e-7
+
+
+def _problems(which: str):
+    from repro.fem import elasticity_3d, laplace_3d
+
+    out = []
+    if which in ("laplace", "all"):
+        out.append(("laplace", laplace_3d(8)))
+    if which in ("elasticity", "all"):
+        out.append(("elasticity", elasticity_3d(6)))
+    return out
+
+
+def _config_for(kind: str):
+    from repro.api import SchwarzConfig
+    from repro.dd.local_solvers import LocalSolverSpec
+
+    if kind == "fastilu_divergence":
+        return SchwarzConfig(local=LocalSolverSpec(kind="fastilu"))
+    if kind == "precision_overflow":
+        return SchwarzConfig(precision="single")
+    return SchwarzConfig()
+
+
+def _run_cell(problem, kind: str, resilient: bool, seed: int, maxiter: int):
+    """One chaos cell; returns (ok, detail)."""
+    from repro.api import KrylovConfig, SolverSession
+    from repro.resilience.detect import BREAKDOWN_EXCEPTIONS
+    from repro.resilience.engine import ResilienceConfig
+    from repro.resilience.inject import FaultPlan
+
+    plan = FaultPlan.single(kind, rank=_FAULT_RANK, seed=seed)
+    cfg = ResilienceConfig(
+        fault_plan=plan, detect=resilient, recover=resilient
+    )
+    session = SolverSession(
+        problem,
+        partition=(2, 2, 2),
+        config=_config_for(kind),
+        krylov=KrylovConfig(rtol=_RTOL, maxiter=maxiter),
+        resilience=cfg,
+    )
+    try:
+        with warnings.catch_warnings():
+            # the control arm intentionally floods the solve with
+            # inf/NaN; numpy's invalid-value warnings are the point
+            warnings.simplefilter("ignore")
+            res = session.solve()
+    except BREAKDOWN_EXCEPTIONS as err:
+        if resilient:
+            return False, f"raised {type(err).__name__}: {err}"
+        return True, f"raised {type(err).__name__} (fault is real)"
+    healthy = bool(
+        res.converged
+        and np.all(np.isfinite(res.x))
+        and res.final_relres <= _RTOL * 1.01
+    )
+    detail = f"status={res.status} iters={res.iterations} " \
+             f"relres={res.final_relres:.2e}"
+    if resilient:
+        if not healthy:
+            return False, "did not recover: " + detail
+        actions = len(res.health.actions) if res.health else 0
+        return True, detail + f" actions={actions}"
+    if healthy:
+        return False, "control arm unexpectedly healthy: " + detail
+    return True, "fails as expected: " + detail
+
+
+def run_matrix(which: str = "all", seed: int = 7, maxiter: int = 1000,
+               control_maxiter: int = 150, out=sys.stdout) -> int:
+    """Run the full fault matrix; returns the number of bad cells."""
+    from repro.resilience.inject import FAULT_KINDS
+
+    bad = 0
+    for pname, problem in _problems(which):
+        for kind in FAULT_KINDS:
+            for resilient in (True, False):
+                arm = "resilient" if resilient else "control"
+                ok, detail = _run_cell(
+                    problem, kind, resilient, seed,
+                    maxiter if resilient else control_maxiter,
+                )
+                mark = "ok " if ok else "BAD"
+                print(
+                    f"[{mark}] {pname:<10} {kind:<20} {arm:<9} {detail}",
+                    file=out,
+                )
+                bad += 0 if ok else 1
+    return bad
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="run the deterministic fault-injection matrix",
+    )
+    parser.add_argument(
+        "--problem", choices=("laplace", "elasticity", "all"),
+        default="all", help="which problem family to fault (default: all)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="fault-plan seed (default: 7)"
+    )
+    args = parser.parse_args(argv)
+    bad = run_matrix(which=args.problem, seed=args.seed)
+    if bad:
+        print(f"{bad} chaos cell(s) misbehaved", file=sys.stderr)
+        return 1
+    print("chaos matrix clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

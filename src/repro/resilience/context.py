@@ -1,0 +1,48 @@
+"""Ambient resilience engine, mirroring the :mod:`repro.obs` tracer.
+
+The numeric layers (:mod:`repro.dd.schwarz`, :mod:`repro.ilu.fastilu`,
+...) call :func:`get_engine` at their detection/injection points; the
+returned engine is ``None`` unless a solve is running inside
+:func:`use_engine`, so the fault-free hot path pays one module-global
+read per hook and nothing else.
+
+This module is intentionally dependency-free (no numpy, no repro
+imports): the low-level kernels import it without pulling the policy or
+injection machinery into their import graph.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = ["get_engine", "set_engine", "use_engine"]
+
+_CURRENT: Optional[Any] = None
+
+
+def get_engine() -> Optional[Any]:
+    """The ambient :class:`~repro.resilience.engine.ResilienceEngine`.
+
+    ``None`` (the overwhelmingly common case) means no resilience hooks
+    are active and callers must skip their detection/injection work.
+    """
+    return _CURRENT
+
+
+def set_engine(engine: Optional[Any]) -> None:
+    """Install ``engine`` as the ambient engine (``None`` clears it)."""
+    global _CURRENT
+    _CURRENT = engine
+
+
+@contextmanager
+def use_engine(engine: Optional[Any]) -> Iterator[Optional[Any]]:
+    """Scope ``engine`` as the ambient engine, restoring the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = engine
+    try:
+        yield engine
+    finally:
+        _CURRENT = previous

@@ -1,0 +1,212 @@
+"""Per-subdomain recovery ladder.
+
+When a local factorization breaks down (or its fixed-point iteration
+diverges), the policy escalates that subdomain one rung at a time,
+cheapest remedy first:
+
+1. **boost damping** -- a diverging FastILU factorization retries with
+   the Jacobi damping factor halved (the Table I knob; Section VI notes
+   the undamped sweeps diverge on stiff elasticity blocks);
+2. **diagonal shift** -- a zero/near-zero/negative pivot retries with a
+   growing relative shift ``A_i + sigma * max|diag| * I`` (the classic
+   shifted-IC/LU remedy);
+3. **solver fallback** -- FastILU falls back to ILU(k), ILU(k) to the
+   exact pivot-free multifrontal, and that to SuperLU's
+   partial-pivoting LU, which factors even the indefinite matrices the
+   injected sign-flip faults produce.
+
+Changing a subdomain's solver mid-run is sound because the outer
+iteration is *right*-preconditioned GMRES storing the preconditioned
+directions ``z_j`` -- effectively FGMRES, which tolerates a different
+preconditioner at every application.
+
+The ladder only ever *weakens* the preconditioner (more damping, a
+shifted or more approximate factorization) or makes it exact; either
+way the Schwarz operator stays well-defined and the Krylov iteration
+keeps its convergence guarantees, just with a different count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.dd.local_solvers import LocalSolverSpec
+from repro.resilience.detect import DivergenceError, PivotBreakdownError
+
+__all__ = ["ACTION_KINDS", "RecoveryAction", "LadderState", "RecoveryPolicy"]
+
+#: every action kind the resilience subsystem can record
+ACTION_KINDS = (
+    "boost_damping",
+    "diagonal_shift",
+    "fallback_iluk",
+    "fallback_exact",
+    "fallback_superlu",
+    "sanitize_halo",
+    "drop_local_solve",
+    "promote_precision",
+    "krylov_restart",
+)
+
+#: the fallback chain (rung above each solver kind)
+_FALLBACK_NEXT = {"fastilu": "iluk", "iluk": "tacho", "tacho": "superlu", "superlu": None}
+_FALLBACK_ACTION = {"iluk": "fallback_iluk", "tacho": "fallback_exact", "superlu": "fallback_superlu"}
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One recovery step taken by the runtime.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`ACTION_KINDS`.
+    rank:
+        Affected subdomain, or -1 for run-global actions
+        (``promote_precision`` / ``krylov_restart``).
+    detail:
+        Human-readable description (also annotated onto the trace).
+    """
+
+    kind: str
+    rank: int
+    detail: str
+
+
+@dataclass
+class LadderState:
+    """Where one subdomain currently sits on the escalation ladder.
+
+    Attributes
+    ----------
+    rank:
+        The subdomain this state tracks.
+    spec:
+        The solver spec currently in effect (mutated by escalation).
+    shift:
+        Relative diagonal shift currently applied at factorization
+        (``A_i + shift * max|diag(A_i)| * I``); 0.0 means none.
+    boosts:
+        Damping boosts applied so far on the current rung.
+    attempts:
+        Factorization attempts so far (first build counts as 1; every
+        attempt past the first is re-billed as a refactorization).
+    escalated:
+        True once any recovery action touched this subdomain.
+    exhausted:
+        True when the ladder ran out of rungs (the breakdown is then
+        re-raised to the caller).
+    """
+
+    rank: int
+    spec: LocalSolverSpec
+    shift: float = 0.0
+    boosts: int = 0
+    attempts: int = 0
+    escalated: bool = False
+    exhausted: bool = False
+    actions: List[RecoveryAction] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Final ladder position, e.g. ``"iluk(1) (nd, cpu solve), shift=1e-06"``."""
+        out = self.spec.describe()
+        if self.shift:
+            out += f", shift={self.shift:g}"
+        return out
+
+
+class RecoveryPolicy:
+    """Decides the next recovery action for a broken subdomain.
+
+    Parameters
+    ----------
+    max_damping_boosts:
+        Damping halvings tried before falling back off FastILU.
+    min_damping:
+        Floor under which damping is not pushed further.
+    shift0, shift_growth, max_shift:
+        First relative diagonal shift, its per-retry growth factor, and
+        the cap beyond which the policy falls back to the next solver
+        instead of shifting harder.
+    """
+
+    def __init__(
+        self,
+        max_damping_boosts: int = 2,
+        min_damping: float = 0.15,
+        shift0: float = 1e-8,
+        shift_growth: float = 100.0,
+        max_shift: float = 4.0,
+    ) -> None:
+        self.max_damping_boosts = max_damping_boosts
+        self.min_damping = min_damping
+        self.shift0 = shift0
+        self.shift_growth = shift_growth
+        self.max_shift = max_shift
+
+    def initial_state(self, rank: int, spec: LocalSolverSpec) -> LadderState:
+        """Fresh ladder state for one subdomain."""
+        return LadderState(rank=rank, spec=spec)
+
+    def escalate(
+        self, state: LadderState, error: BaseException
+    ) -> Optional[RecoveryAction]:
+        """Advance ``state`` one rung for ``error``; None when exhausted.
+
+        Mutates ``state`` (spec/shift/boosts) and returns the action to
+        record; the caller rebuilds the subdomain with the new state.
+        """
+        action = self._next_action(state, error)
+        if action is None:
+            state.exhausted = True
+            return None
+        state.escalated = True
+        state.actions.append(action)
+        return action
+
+    # ------------------------------------------------------------------
+    def _next_action(
+        self, state: LadderState, error: BaseException
+    ) -> Optional[RecoveryAction]:
+        spec = state.spec
+        if isinstance(error, DivergenceError) and spec.kind == "fastilu":
+            damping = spec.factor_damping * 0.5
+            if state.boosts < self.max_damping_boosts and damping >= self.min_damping:
+                state.boosts += 1
+                state.spec = replace(
+                    spec,
+                    factor_damping=damping,
+                    solve_damping=min(spec.solve_damping, max(damping, 0.5)),
+                )
+                return RecoveryAction(
+                    "boost_damping",
+                    state.rank,
+                    f"subdomain {state.rank}: FastILU sweeps diverged; "
+                    f"damping {spec.factor_damping:g} -> {damping:g}",
+                )
+        elif isinstance(error, (PivotBreakdownError, ZeroDivisionError)) or (
+            error.__class__.__name__ == "LinAlgError"
+        ):
+            shift = self.shift0 if state.shift == 0.0 else state.shift * self.shift_growth
+            if shift <= self.max_shift:
+                state.shift = shift
+                return RecoveryAction(
+                    "diagonal_shift",
+                    state.rank,
+                    f"subdomain {state.rank}: pivot breakdown in "
+                    f"{spec.kind}; retrying with relative diagonal "
+                    f"shift {shift:g}",
+                )
+        # out of same-rung remedies: fall back to the next solver
+        nxt = _FALLBACK_NEXT.get(spec.kind)
+        if nxt is None:
+            return None
+        state.spec = replace(spec, kind=nxt)
+        state.boosts = 0
+        return RecoveryAction(
+            _FALLBACK_ACTION[nxt],
+            state.rank,
+            f"subdomain {state.rank}: {spec.kind} unrecoverable "
+            f"({type(error).__name__}); falling back to {nxt}",
+        )

@@ -51,6 +51,11 @@ class SimComm:
     (:meth:`channel_doubles`) so the cost-model audit in
     :mod:`repro.verify` can compare the values each rank actually
     imported per communication family against the modeled counts.
+
+    A :class:`~repro.resilience.inject.FaultPlan` attached as
+    ``fault_plan`` lets tests drop (``msg_drop``) or NaN-corrupt
+    (``msg_corrupt``) selected messages at the send side; ``dropped``
+    counts the messages a fault ate.
     """
 
     size: int
@@ -59,6 +64,8 @@ class SimComm:
     bytes_sent: int = 0
     allreduces: int = 0
     reduce_doubles: int = 0
+    dropped: int = 0
+    fault_plan: Optional[Any] = None
     _queues: Dict[Tuple[int, int, int], Deque[Any]] = field(default_factory=dict)
     _channel_doubles: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
@@ -71,6 +78,12 @@ class SimComm:
         """Queue a message from ``src`` to ``dst``."""
         self._check_rank(src)
         self._check_rank(dst)
+        if self.fault_plan is not None:
+            if self.fault_plan.should_drop(src, dst, tag):
+                self.dropped += 1
+                self.sends += 1
+                return
+            payload = self.fault_plan.corrupt_payload(src, dst, tag, payload)
         self._queues.setdefault((src, dst, tag), deque()).append(payload)
         self.sends += 1
         nbytes = int(payload.nbytes) if isinstance(payload, np.ndarray) else 0
@@ -93,10 +106,30 @@ class SimComm:
         if not q:
             raise RuntimeError(
                 f"deadlock: rank {dst} waits for a message from {src} "
-                f"(tag {tag}) that was never sent"
+                f"(tag {tag}) that was never sent; channel "
+                f"(src={src}, dst={dst}, tag={tag}) is empty; "
+                + self._pending_summary()
+                + f"; ops so far: {self.sends} sends, {self.recvs} recvs, "
+                f"{self.allreduces} allreduces, {self.dropped} dropped, "
+                f"{self.bytes_sent} bytes sent"
             )
         self.recvs += 1
         return q.popleft()
+
+    def _pending_summary(self, limit: int = 8) -> str:
+        """Human-readable summary of non-empty channels for diagnostics."""
+        busy = sorted(
+            (key, len(q)) for key, q in self._queues.items() if q
+        )
+        if not busy:
+            return "no channels have pending messages"
+        shown = ", ".join(
+            f"(src={s}, dst={d}, tag={t}): {n} msg{'s' if n != 1 else ''}"
+            for (s, d, t), n in busy[:limit]
+        )
+        extra = len(busy) - limit
+        tail = f", and {extra} more channels" if extra > 0 else ""
+        return f"{len(busy)} pending channel(s): {shown}{tail}"
 
     def pending(self) -> int:
         """Number of undelivered messages (should be 0 after a phase)."""
