@@ -71,12 +71,20 @@ from repro.resilience import (
     HealthReport,
     ResilienceConfig,
 )
+from repro.reuse import (
+    ArtifactCache,
+    PatternChangedError,
+    ReuseConfig,
+    get_artifact_cache,
+    use_artifact_cache,
+)
 from repro.runtime import JobLayout, SolverTimings, time_solver, trace_solver
 from repro.sparse import CsrMatrix
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
     "CsrMatrix",
     "Decomposition",
     "FaultPlan",
@@ -88,8 +96,10 @@ __all__ = [
     "KrylovConfig",
     "LocalSolverSpec",
     "OneLevelSchwarz",
+    "PatternChangedError",
     "ReduceCounter",
     "ResilienceConfig",
+    "ReuseConfig",
     "SchwarzConfig",
     "SessionResult",
     "SolveStatus",
@@ -101,6 +111,7 @@ __all__ = [
     "cg",
     "constant_nullspace",
     "elasticity_3d",
+    "get_artifact_cache",
     "get_tracer",
     "gmres",
     "laplace_2d",
@@ -109,5 +120,6 @@ __all__ = [
     "time_solver",
     "trace_solver",
     "translations_only",
+    "use_artifact_cache",
     "use_tracer",
 ]

@@ -46,6 +46,13 @@ from repro.krylov import SolveStatus, cg, gmres, pipelined_cg
 from repro.krylov.gmres import GMRES_VARIANTS
 from repro.obs import Span, Tracer, use_tracer
 from repro.obs.export import chrome_trace_json, phase_table, to_jsonl
+from repro.reuse import (
+    RecycleSpace,
+    ReuseConfig,
+    get_artifact_cache,
+    pattern_fingerprint,
+    values_fingerprint,
+)
 from repro.sparse.csr import CsrMatrix
 
 __all__ = [
@@ -188,6 +195,23 @@ class SessionResult:
     #: :class:`repro.resilience.engine.HealthReport` when the session
     #: was constructed with ``resilience=``; None otherwise
     health: Optional[object] = None
+    #: True when this solve reused the previous setup (the
+    #: :meth:`SolverSession.resolve` skip/refactor paths); the priced
+    #: setup is then the refactorization cost, not the first-solve cost
+    setup_reused: bool = False
+
+    def priced_setup_seconds(self, layout) -> float:
+        """The setup time this solve is billed under ``layout``.
+
+        The first solve of a sequence pays
+        ``SolverTimings.first_setup_seconds`` (symbolic + numeric);
+        reused solves pay ``setup_seconds`` (the ``include_symbolic=
+        False`` refactorization path for symbolic-reusable solvers).
+        """
+        t = self.timings(layout)
+        return float(
+            t.setup_seconds if self.setup_reused else t.first_setup_seconds
+        )
 
     def timings(self, layout):
         """Price this run under a :class:`~repro.runtime.layout.JobLayout`.
@@ -256,6 +280,14 @@ class SolverSession:
         ``SessionResult.health`` and ``SessionResult.status`` reads
         ``"recovered"`` when the solve converged only thanks to
         recovery actions.
+    reuse:
+        Controls the amortized-setup paths of :meth:`resolve` and
+        :meth:`solve_sequence`.  The default (``False`` or ``True``)
+        keeps the reuse path bit-identical to cold solves: same-values
+        re-solves skip setup, same-pattern new values refactorize
+        numerically.  A :class:`~repro.reuse.ReuseConfig` additionally
+        opts into GMRES warm starts and solution recycling (which
+        change the iterates and are therefore off by default).
     """
 
     def __init__(
@@ -268,6 +300,7 @@ class SolverSession:
         tracer: Optional[Tracer] = None,
         verify: object = False,
         resilience: object = False,
+        reuse: object = False,
     ) -> None:
         for attr in ("a", "b"):
             if not hasattr(problem, attr):
@@ -296,6 +329,22 @@ class SolverSession:
 
             resilience = ResilienceConfig()
         self.resilience: object = resilience or None
+        # reuse is always available through resolve()/solve_sequence();
+        # the config only switches on the opt-in non-bit-identical
+        # accelerators (warm start, recycling)
+        if reuse is True or not reuse:
+            reuse = ReuseConfig()
+        if not isinstance(reuse, ReuseConfig):
+            raise TypeError(
+                f"reuse must be a bool or ReuseConfig, got {type(reuse).__name__}"
+            )
+        self.reuse: ReuseConfig = reuse
+        self._recycle = (
+            RecycleSpace(reuse.recycle) if reuse.recycle > 0 else None
+        )
+        #: state of the previous solve, keyed by matrix fingerprints;
+        #: drives the resolve() skip/refactor/cold decision ladder
+        self._last: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def nullspace(self) -> np.ndarray:
@@ -326,7 +375,21 @@ class SolverSession:
             )
             problem = copy.copy(problem)
             problem.a = a32
-        dec = Decomposition.from_box_partition(problem, *self.partition)
+        # the partition plan is pattern-only: same pattern + same box
+        # split -> same node parts, so it lives in the artifact cache
+        # and is re-bound to the new values on a hit
+        cache = get_artifact_cache()
+        dkey = (
+            "decomposition",
+            pattern_fingerprint(problem.a),
+            self.partition,
+        )
+        dec_plan = cache.get(dkey)
+        if dec_plan is None:
+            dec = Decomposition.from_box_partition(problem, *self.partition)
+            cache.put(dkey, dec)
+        else:
+            dec = dec_plan.with_values(problem.a)
         precond = GDSWPreconditioner(
             dec,
             self.nullspace(),
@@ -500,6 +563,16 @@ class SolverSession:
             )
             if getattr(self.verify, "strict", True):
                 verification.raise_on_failure()
+        # record the reuse state for resolve()/solve_sequence()
+        self._last = {
+            "operator": base,
+            "precond": inner,
+            "pattern_fp": pattern_fingerprint(problem.a),
+            "values_fp": values_fingerprint(problem.a),
+            "x": res.x,
+        }
+        if self._recycle is not None and res.converged:
+            self._recycle.add(res.x)
         return SessionResult(
             x=res.x,
             iterations=iterations,
@@ -516,3 +589,184 @@ class SolverSession:
             status=status,
             health=health,
         )
+
+    # ------------------------------------------------------------------
+    # amortized-setup solve sequences (repro.reuse)
+    # ------------------------------------------------------------------
+    def _apply_updates(self, b, a_new) -> None:
+        """Swap in a new right-hand side and/or matrix (shallow copy)."""
+        if b is None and a_new is None:
+            return
+        import copy
+
+        problem = copy.copy(self.problem)
+        if b is not None:
+            problem.b = np.asarray(b, dtype=np.float64)
+        if a_new is not None:
+            problem.a = a_new
+        self.problem = problem
+
+    def _suggest_x0(self) -> Optional[np.ndarray]:
+        """Opt-in initial guess: recycling wins over plain warm start."""
+        if self._recycle is not None and len(self._recycle):
+            x0 = self._recycle.suggest_x0(
+                self.problem.a.matvec, self.problem.b
+            )
+            if x0 is not None:
+                return x0
+        if self.reuse.warm_start and self._last is not None:
+            x0 = self._last.get("x")
+            if x0 is not None and np.all(np.isfinite(x0)):
+                return np.asarray(x0, dtype=np.float64).copy()
+        return None
+
+    def resolve(self, b=None, a_new=None) -> SessionResult:
+        """Solve again, reusing whatever the previous solve allows.
+
+        The decision ladder, keyed on matrix fingerprints:
+
+        * no previous solve, or a changed sparsity *pattern* -- full
+          cold :meth:`solve` (counted as a ``reuse_miss``);
+        * same pattern, new values -- numeric-only refactorization of
+          the stored preconditioner (phase (b) of the paper's setup
+          split; SuperLU locals rebuild, ``symbolic_reusable`` kinds
+          skip phase (a));
+        * identical values -- setup skipped entirely (repeated-RHS
+          path).
+
+        The reuse paths run without the resilience retry ladder (a
+        breakdown there surfaces directly); with the default
+        :class:`~repro.reuse.ReuseConfig` they are bit-identical to
+        cold solves -- same iterates, same residual history.
+        """
+        last = self._last
+        if last is None:
+            self._apply_updates(b, a_new)
+            return self.solve()
+        kind = "skip"
+        if a_new is not None:
+            new_vfp = values_fingerprint(a_new)
+            if new_vfp == last["values_fp"]:
+                kind = "skip"
+            elif pattern_fingerprint(a_new) == last["pattern_fp"]:
+                kind = "refactor"
+            else:
+                kind = "cold"
+        if kind == "cold":
+            get_artifact_cache().misses += 1
+            self._apply_updates(b, a_new)
+            self._last = None
+            return self.solve()
+        self._apply_updates(b, a_new)
+
+        kry = self.krylov
+        problem = self.problem
+        tracer = self.tracer or Tracer()
+        operator = last["operator"]
+        observer = None
+        if self.verify is not None and kry.method == "gmres":
+            from repro.verify import GmresInvariantObserver
+
+            observer = GmresInvariantObserver()
+        with use_tracer(tracer):
+            with tracer.span("setup") as sp:
+                sp.annotate(
+                    config=self.config.describe(),
+                    partition=str(self.partition),
+                    reused=kind,
+                )
+                if kind == "refactor":
+                    with tracer.span("reuse/refactor") as rp:
+                        rp.count("reuse_hits", 1.0)
+                        if isinstance(operator, HalfPrecisionOperator):
+                            a = problem.a
+                            a32 = CsrMatrix(
+                                a.indptr.copy(),
+                                a.indices.copy(),
+                                round_to_single(a.data),
+                                a.shape,
+                            )
+                            operator.inner.refactor(a32)
+                        else:
+                            operator.refactor(problem.a)
+                else:
+                    with tracer.span("reuse/skip_setup") as rp:
+                        rp.count("reuse_hits", 1.0)
+            with tracer.span("krylov") as sp:
+                sp.annotate(method=kry.method)
+                res = self._run_krylov(
+                    operator, kry.rtol, kry.maxiter, self._suggest_x0(),
+                    observer, None,
+                )
+        tracer.finish()
+
+        relres = float(
+            np.linalg.norm(problem.a.matvec(res.x) - problem.b)
+            / max(np.linalg.norm(problem.b), 1e-300)
+        )
+        inner = operator.inner if isinstance(operator, HalfPrecisionOperator) \
+            else operator
+        verification = None
+        if self.verify is not None:
+            from repro.verify import verify_run
+
+            verification = verify_run(
+                problem.a,
+                problem.b,
+                res.x,
+                res.residual_norms,
+                operator,
+                config=self.verify,
+                nullspace=self.nullspace(),
+                observer=observer,
+            )
+            if getattr(self.verify, "strict", True):
+                verification.raise_on_failure()
+        last["x"] = res.x
+        last["values_fp"] = values_fingerprint(problem.a)
+        if self._recycle is not None and res.converged:
+            self._recycle.add(res.x)
+        return SessionResult(
+            x=res.x,
+            iterations=res.iterations,
+            converged=res.converged,
+            residual_norms=list(res.residual_norms),
+            reduces=tracer.reduces,
+            reduce_doubles=tracer.reduce_doubles,
+            final_relres=relres,
+            n_coarse=inner.n_coarse,
+            n_ranks=inner.dec.n_subdomains,
+            precond=operator,
+            trace=tracer.root,
+            verification=verification,
+            status=getattr(res, "status", SolveStatus.MAXITER),
+            setup_reused=True,
+        )
+
+    def solve_sequence(self, bs, a_seq=None) -> List[SessionResult]:
+        """Solve ``A_k x_k = b_k`` for a sequence, amortizing the setup.
+
+        The first solve is cold; every later solve goes through
+        :meth:`resolve`, so matching patterns pay only refactorization
+        and matching values pay no setup at all (the paper's
+        "Numerical Setup Time" amortization).
+
+        Parameters
+        ----------
+        bs:
+            Iterable of right-hand sides.
+        a_seq:
+            Optional iterable of matrices, one per right-hand side
+            (None entries keep the current matrix).
+        """
+        bs = list(bs)
+        if a_seq is None:
+            a_list: List[Optional[CsrMatrix]] = [None] * len(bs)
+        else:
+            a_list = list(a_seq)
+            if len(a_list) != len(bs):
+                raise ValueError(
+                    f"a_seq has {len(a_list)} entries for {len(bs)} "
+                    f"right-hand sides"
+                )
+        return [self.resolve(b=b, a_new=a) for b, a in zip(bs, a_list)]

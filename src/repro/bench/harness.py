@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -15,6 +15,7 @@ from repro.fem import elasticity_3d, rigid_body_modes
 from repro.krylov import gmres
 from repro.machine.spec import CpuSpec, GpuSpec, MachineSpec
 from repro.obs import Tracer, use_tracer
+from repro.reuse.cache import LruDict, get_artifact_cache
 from repro.runtime.layout import JobLayout
 from repro.runtime.timings import SolverTimings, time_solver
 from repro.sparse.csr import CsrMatrix
@@ -57,7 +58,9 @@ def rank_grid(nodes: int, ranks_per_node: int) -> Tuple[int, int, int]:
     return (ng[0] * rg[0], ng[1] * rg[1], ng[2] * rg[2])
 
 
-_PROBLEM_CACHE: Dict[Tuple, object] = {}
+# LRU-bounded: a long bench session cycles through many (nodes, e)
+# combinations, and assembled problems are the largest objects around
+_PROBLEM_CACHE: "LruDict" = LruDict(maxsize=8)
 
 
 def weak_scaled_problem(nodes: int, elements_per_node_axis: int = 6):
@@ -140,13 +143,14 @@ class NumericsRecord:
     audit: object = field(default=None, repr=False, compare=False)
 
 
-_NUMERICS_CACHE: Dict[Tuple, NumericsRecord] = {}
+_NUMERICS_CACHE: "LruDict" = LruDict(maxsize=128)
 
 
 def clear_cache() -> None:
-    """Drop all memoized problems and numerics runs."""
+    """Drop all memoized problems, numerics runs, and reuse artifacts."""
     _PROBLEM_CACHE.clear()
     _NUMERICS_CACHE.clear()
+    get_artifact_cache().clear()
 
 
 def run_numerics(

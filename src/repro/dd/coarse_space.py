@@ -199,6 +199,7 @@ def energy_minimizing_extension(
     analysis: InterfaceAnalysis,
     space: CoarseSpace,
     interior_solver_factory: Callable[[], "object"],
+    solver_cache: Optional[dict] = None,
 ) -> Tuple[CsrMatrix, KernelProfile, List[KernelProfile]]:
     """Extend ``Phi_Gamma`` harmonically into the subdomain interiors.
 
@@ -213,6 +214,13 @@ def energy_minimizing_extension(
         Zero-argument callable returning a fresh
         :class:`repro.direct.base.DirectSolver` for the interior solves
         (the paper uses Tacho here even in the ILU experiments).
+    solver_cache:
+        Optional mutable mapping of subdomain index to the interior
+        solver factored on a previous (same-pattern) call.  On a hit,
+        the interior block is *refactorized* (numeric-only when the
+        solver's symbolic phase is reusable); misses populate the cache.
+        The phase profiles recorded per rank are identical either way,
+        because the symbolic profile is pattern-deterministic.
 
     Returns
     -------
@@ -241,7 +249,7 @@ def energy_minimizing_extension(
     interface_mask = np.zeros(dec.n_nodes, dtype=bool)
     interface_mask[analysis.interface_nodes] = True
 
-    for part in dec.node_parts:
+    for part_idx, part in enumerate(dec.node_parts):
         rank_prof = KernelProfile()
         interior_nodes_i = part[~interface_mask[part]]
         if interior_nodes_i.size == 0:
@@ -262,8 +270,14 @@ def energy_minimizing_extension(
         if active.size == 0:
             rank_profiles.append(rank_prof)
             continue
-        solver = interior_solver_factory()
-        solver.factorize(a_ii)
+        solver = None if solver_cache is None else solver_cache.get(part_idx)
+        if solver is None:
+            solver = interior_solver_factory()
+            solver.factorize(a_ii)
+            if solver_cache is not None:
+                solver_cache[part_idx] = solver
+        else:
+            solver.refactorize(a_ii)
         rank_prof.extend(solver.symbolic_profile)
         rank_prof.extend(solver.numeric_profile)
         rhs = -rhs_sparse.todense()[:, active]

@@ -95,6 +95,19 @@ class Decomposition:
         """The dof-level nonoverlapping partition."""
         return [self.dofs_of_nodes(p) for p in self.node_parts]
 
+    def with_values(self, a_new: CsrMatrix) -> "Decomposition":
+        """The same partition plan over a same-pattern matrix.
+
+        The node graph and partition depend only on the sparsity
+        pattern, so a refactorization sequence shares them; a changed
+        pattern raises
+        :class:`~repro.reuse.fingerprint.PatternChangedError`.
+        """
+        from repro.reuse.fingerprint import check_same_pattern, pattern_fingerprint
+
+        check_same_pattern(pattern_fingerprint(self.a), a_new, "decomposition")
+        return Decomposition(a_new, self.dofs_per_node, self.node_parts, self.graph)
+
     # ------------------------------------------------------------------
     @classmethod
     def from_box_partition(

@@ -159,6 +159,7 @@ class FactoredLocal:
         symbolic_reusable: bool,
         cpu_only_numeric: bool = False,
         exact: bool = True,
+        refactor_fn=None,
     ) -> None:
         self._apply = apply_fn
         self.symbolic_profile = symbolic_profile
@@ -168,10 +169,28 @@ class FactoredLocal:
         self.symbolic_reusable = symbolic_reusable
         self.cpu_only_numeric = cpu_only_numeric
         self.exact = exact
+        self._refactor_fn = refactor_fn
 
     def apply(self, v: np.ndarray) -> np.ndarray:
         """Apply the (approximate) local inverse."""
         return self._apply(v)
+
+    def refactor(self, a_new: CsrMatrix) -> "FactoredLocal":
+        """Numeric-only refactorization over a same-pattern matrix.
+
+        Returns a fresh :class:`FactoredLocal` with updated factors and
+        solve closures.  Kinds with ``symbolic_reusable`` skip the
+        symbolic phase (their pattern guards raise
+        :class:`~repro.reuse.fingerprint.PatternChangedError` on
+        pattern drift); SuperLU re-runs the full factorization because
+        partial pivoting ties its ordering to the values.
+        """
+        if self._refactor_fn is None:
+            raise RuntimeError(
+                "this FactoredLocal was built without a refactor path; "
+                "rebuild it via LocalSolverSpec.build"
+            )
+        return self._refactor_fn(a_new)
 
 
 # ----------------------------------------------------------------------
@@ -180,6 +199,10 @@ def _build_superlu(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
 
     slu = GilbertPeierlsLU(ordering=spec.ordering)
     slu.factorize(a)
+    # SuperLU's refactorization is a full rebuild: partial pivoting
+    # couples the factor structure to the values (symbolic_reusable is
+    # False), matching the paper's per-refactorization symbolic cost.
+    refactor = lambda a_new: _build_superlu(a_new, spec)  # noqa: E731
     setup = KernelProfile()
     if spec.gpu_solve:
         # supernodal KK SpTRSV over the LU factors: detection + block
@@ -219,6 +242,7 @@ def _build_superlu(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
             solve_prof,
             symbolic_reusable=False,
             cpu_only_numeric=True,
+            refactor_fn=refactor,
         )
     return FactoredLocal(
         slu.solve,
@@ -228,6 +252,7 @@ def _build_superlu(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
         slu.solve_profile,
         symbolic_reusable=False,
         cpu_only_numeric=True,
+        refactor_fn=refactor,
     )
 
 
@@ -236,6 +261,10 @@ def _build_tacho(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
 
     t = MultifrontalCholesky(ordering=spec.ordering)
     t.factorize(a)
+    return _wrap_tacho(t, spec)
+
+
+def _wrap_tacho(t, spec: LocalSolverSpec) -> FactoredLocal:
     return FactoredLocal(
         t.solve,
         t.symbolic_profile,
@@ -243,15 +272,21 @@ def _build_tacho(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
         KernelProfile(),
         t.solve_profile,
         symbolic_reusable=True,
+        refactor_fn=lambda a_new: _wrap_tacho(t.refactorize(a_new), spec),
     )
 
 
 def _build_iluk(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
     from repro.ilu import IlukFactorization
-    from repro.tri.levelset import LevelScheduledTriangular
 
     f = IlukFactorization(level=spec.ilu_level, ordering=spec.ordering)
     f.symbolic(a).numeric(a)
+    return _wrap_iluk(f, spec)
+
+
+def _wrap_iluk(f, spec: LocalSolverSpec) -> FactoredLocal:
+    from repro.tri.levelset import LevelScheduledTriangular
+
     lsol = LevelScheduledTriangular(f.l, lower=True, unit_diagonal=True)
     usol = LevelScheduledTriangular(f.u, lower=False)
     perm = f.perm
@@ -281,12 +316,12 @@ def _build_iluk(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
         solve_prof,
         symbolic_reusable=True,
         exact=False,
+        refactor_fn=lambda a_new: _wrap_iluk(f.numeric(a_new), spec),
     )
 
 
 def _build_fastilu(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
     from repro.ilu import FastIlu
-    from repro.tri.jacobi import JacobiTriangular
 
     f = FastIlu(
         level=spec.ilu_level,
@@ -295,6 +330,12 @@ def _build_fastilu(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
         damping=spec.factor_damping,
     )
     f.symbolic(a).numeric(a)
+    return _wrap_fastilu(f, spec)
+
+
+def _wrap_fastilu(f, spec: LocalSolverSpec) -> FactoredLocal:
+    from repro.tri.jacobi import JacobiTriangular
+
     lsol = JacobiTriangular(
         f.l, sweeps=spec.solve_sweeps, unit_diagonal=True, damping=spec.solve_damping
     )
@@ -320,4 +361,5 @@ def _build_fastilu(a: CsrMatrix, spec: LocalSolverSpec) -> FactoredLocal:
         solve_prof,
         symbolic_reusable=True,
         exact=False,
+        refactor_fn=lambda a_new: _wrap_fastilu(f.numeric(a_new), spec),
     )

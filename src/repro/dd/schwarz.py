@@ -19,6 +19,8 @@ from repro.dd.overlap import overlapping_subdomains
 from repro.machine.kernels import KernelProfile
 from repro.obs import get_tracer
 from repro.resilience.context import get_engine
+from repro.reuse.cache import get_artifact_cache
+from repro.reuse.fingerprint import partition_fingerprint, pattern_fingerprint
 from repro.sparse.blocks import extract_submatrix
 from repro.sparse.csr import CsrMatrix
 
@@ -68,11 +70,31 @@ class OneLevelSchwarz:
         tr = get_tracer()
         with tr.span("setup/overlap") as sp:
             sp.annotate(overlap=overlap)
-            node_sets = overlapping_subdomains(dec, overlap)
+            # the overlap import plan is pattern-only: same matrix
+            # pattern + same partition -> same node sets, so it lives
+            # in the ambient pattern-keyed artifact cache
+            cache = get_artifact_cache()
+            key = (
+                "overlap",
+                pattern_fingerprint(dec.a),
+                partition_fingerprint(dec.node_parts),
+                int(overlap),
+            )
+            node_sets = cache.get(key)
+            if node_sets is None:
+                node_sets = overlapping_subdomains(dec, overlap)
+                cache.put(key, node_sets)
             self.node_sets = node_sets
             self.dof_sets: List[np.ndarray] = [
                 dec.dofs_of_nodes(ns) for ns in node_sets
             ]
+            # precomputed scatter plan for apply(): one concatenated
+            # index vector drives a single bincount accumulation
+            self._scatter_dofs = (
+                np.concatenate(self.dof_sets)
+                if self.dof_sets
+                else np.empty(0, dtype=np.int64)
+            )
         self.locals: List[FactoredLocal] = []
         self.matrices: List[CsrMatrix] = []
         eng = get_engine()
@@ -113,12 +135,37 @@ class OneLevelSchwarz:
         """Number of overlapping subdomains."""
         return len(self.dof_sets)
 
+    def refactor(self, dec_new: Decomposition) -> None:
+        """Numeric-only refactorization over a same-pattern matrix.
+
+        Reuses every pattern-derived artifact (overlap node/dof sets,
+        scatter plan, halo sizes, RAS weights) and refactorizes each
+        local solver in place: symbolic-reusable kinds re-run only their
+        numeric phase, SuperLU rebuilds.  ``dec_new`` must share the
+        pattern and partition of the original decomposition (enforced by
+        :meth:`Decomposition.with_values` upstream and by the per-solver
+        pattern guards here).
+        """
+        tr = get_tracer()
+        self.dec = dec_new
+        for rank, dofs in enumerate(self.dof_sets):
+            with tr.span("reuse/local_refactor", rank=rank) as sp:
+                a_i = extract_submatrix(dec_new.a, dofs, dofs)
+                loc = self.locals[rank].refactor(a_i)
+                sp.annotate(
+                    solver=self.spec.describe(),
+                    reused_symbolic=loc.symbolic_reusable,
+                )
+                self.matrices[rank] = a_i
+                self.locals[rank] = loc
+
     def apply(self, v: np.ndarray) -> np.ndarray:
         """Apply ``sum_i R_i^T (D_i) A_i^{-1} R_i v``."""
         with get_tracer().span("apply/local_solve") as sp:
             sp.count("local_solves", float(len(self.dof_sets)))
-            out = np.zeros_like(np.asarray(v, dtype=np.float64))
+            v = np.asarray(v, dtype=np.float64)
             eng = get_engine()
+            parts: List[np.ndarray] = []
             for rank, dofs in enumerate(self.dof_sets):
                 v_i = v[dofs]
                 if eng is not None:
@@ -128,8 +175,18 @@ class OneLevelSchwarz:
                     x_i = eng.check_local_solution(rank, x_i)
                 if self._weights is not None:
                     x_i = x_i * self._weights[rank]
-                np.add.at(out, dofs, x_i)
-            return out
+                parts.append(np.asarray(x_i, dtype=np.float64))
+            # single vectorized scatter-add over the precomputed index
+            # plan; bincount accumulates sequentially in input order, so
+            # concatenating rank-major reproduces the per-rank
+            # ``np.add.at`` addition order bit for bit
+            if not parts:
+                return np.zeros_like(v)
+            return np.bincount(
+                self._scatter_dofs,
+                weights=np.concatenate(parts),
+                minlength=v.size,
+            )
 
     # ------------------------------------------------------------------
     def rank_solve_profile(self, rank: int) -> KernelProfile:

@@ -29,11 +29,13 @@ from repro.dd.coarse_space import (
 )
 from repro.dd.decomposition import Decomposition
 from repro.dd.interface import analyze_interface
-from repro.dd.local_solvers import LocalSolverSpec
+from repro.dd.local_solvers import FactoredLocal, LocalSolverSpec
 from repro.dd.schwarz import OneLevelSchwarz
 from repro.machine.kernels import KernelProfile
 from repro.obs import get_tracer
 from repro.resilience.context import get_engine
+from repro.reuse.cache import get_artifact_cache
+from repro.reuse.fingerprint import partition_fingerprint, pattern_fingerprint
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.spgemm import spgemm, spgemm_flops
 
@@ -106,7 +108,20 @@ class GDSWPreconditioner:
         # ---- coarse level ----
         with tr.span("setup/coarse_basis") as sp:
             sp.annotate(variant=variant)
-            self.analysis = analyze_interface(dec, dim=dim)
+            # interface classification is pattern-only (node graph +
+            # partition + dim), so it shares the ambient artifact cache
+            cache = get_artifact_cache()
+            akey = (
+                "interface",
+                pattern_fingerprint(dec.a),
+                partition_fingerprint(dec.node_parts),
+                int(dim),
+            )
+            analysis = cache.get(akey)
+            if analysis is None:
+                analysis = analyze_interface(dec, dim=dim)
+                cache.put(akey, analysis)
+            self.analysis = analysis
             if variant == "agdsw":
                 from repro.dd.adaptive import build_adaptive_coarse_space
 
@@ -125,11 +140,23 @@ class GDSWPreconditioner:
             kind = "tacho" if extension_spec.kind != "superlu" else "superlu"
             return direct_solver(kind, ordering=extension_spec.ordering)
 
+        # state the refactorization path reuses (see :meth:`refactor`)
+        self._ext_factory = _ext_factory
+        self._ext_solver_cache: dict = {}
+        self._coarse_spec = coarse_spec
+        self._coarse_solver_kind = coarse_solver
+        self._multilevel_parts = multilevel_parts
+        self._n_null = int(np.atleast_2d(nullspace).shape[1])
+
         self._ext_rank_profiles: List[KernelProfile]
         if self.space.n_coarse > 0:
             with tr.span("setup/coarse_basis") as sp:
                 phi, ext_spgemm, ext_ranks = energy_minimizing_extension(
-                    dec, self.analysis, self.space, _ext_factory
+                    dec,
+                    self.analysis,
+                    self.space,
+                    _ext_factory,
+                    solver_cache=self._ext_solver_cache,
                 )
                 sp.add_profile(ext_spgemm)
             self.phi: Optional[CsrMatrix] = phi
@@ -167,7 +194,11 @@ class GDSWPreconditioner:
             self._ext_rank_profiles = [KernelProfile() for _ in dec.node_parts]
             self._a0_flops = 0
 
-        # per-rank nnz of Phi restricted to owned dofs (apply-cost split)
+        self._compute_phi_rank_nnz()
+
+    def _compute_phi_rank_nnz(self) -> None:
+        """Per-rank nnz of Phi restricted to owned dofs (apply-cost split)."""
+        dec = self.dec
         if self.phi is not None:
             row_nodes = (
                 np.repeat(np.arange(dec.a.n_rows, dtype=np.int64), self.phi.row_nnz())
@@ -185,6 +216,72 @@ class GDSWPreconditioner:
     def n_coarse(self) -> int:
         """Coarse-space dimension ``n_c * n_n`` (after rank reduction)."""
         return self.space.n_coarse
+
+    # ------------------------------------------------------------------
+    def refactor(self, a_new: CsrMatrix) -> None:
+        """Numeric-only refactorization for a same-pattern matrix.
+
+        Executes the paper's phase (b) end to end: local numeric
+        refactorizations (symbolic reused where ``symbolic_reusable``),
+        interior extension re-solves through the cached interior
+        factorizations, the coarse SpGEMM, and the coarse
+        refactorization.  The interface analysis, overlap plan, and
+        coarse-space structure (``Phi_Gamma``) are pattern-only and
+        reused as-is; ``Phi`` itself is value-dependent (harmonic
+        extension of the new values) and is recomputed, so a drifted
+        ``A0`` *pattern* (the ``|x| > 1e-14`` sparsification of Phi)
+        falls back to a cold coarse factorization.
+        """
+        tr = get_tracer()
+        dec_new = self.dec.with_values(a_new)
+        self.dec = dec_new
+        self.one_level.refactor(dec_new)
+        if self.space.n_coarse == 0:
+            return
+        with tr.span("reuse/extension_refactor") as sp:
+            phi, ext_spgemm, ext_ranks = energy_minimizing_extension(
+                dec_new,
+                self.analysis,
+                self.space,
+                self._ext_factory,
+                solver_cache=self._ext_solver_cache,
+            )
+            sp.add_profile(ext_spgemm)
+        self.phi = phi
+        self._ext_spgemm = ext_spgemm
+        self._ext_rank_profiles = ext_ranks
+        with tr.span("setup/spgemm") as sp:
+            at_phi = spgemm(dec_new.a, phi)
+            self._a0_flops = spgemm_flops(dec_new.a, phi)
+            phi_t = phi.transpose()
+            a0_new = spgemm(phi_t, at_phi)
+            self._a0_flops += spgemm_flops(phi_t, at_phi)
+            sp.count("flops", float(self._a0_flops))
+            sp.count("nnz", float(a0_new.nnz))
+        with tr.span("reuse/coarse_refactor") as sp:
+            same_pattern = pattern_fingerprint(a0_new) == pattern_fingerprint(
+                self.a0
+            )
+            self.a0 = a0_new
+            if same_pattern and isinstance(self.coarse, FactoredLocal):
+                sp.annotate(reused_symbolic=self.coarse.symbolic_reusable)
+                self.coarse = self.coarse.refactor(a0_new)
+            elif (
+                self._coarse_solver_kind == "multilevel"
+                and a0_new.n_rows > self._multilevel_parts
+            ):
+                from repro.dd.multilevel import MultilevelCoarseSolver
+
+                sp.annotate(reused_symbolic=False)
+                self.coarse = MultilevelCoarseSolver(
+                    a0_new,
+                    n_parts=self._multilevel_parts,
+                    n_null=self._n_null,
+                )
+            else:
+                sp.annotate(reused_symbolic=False)
+                self.coarse = self._coarse_spec.build(a0_new)
+        self._compute_phi_rank_nnz()
 
     def apply(self, v: np.ndarray) -> np.ndarray:
         """Apply ``M^{-1} v`` (additive combination of both levels)."""

@@ -72,6 +72,26 @@ class DirectSolver:
             sp.add_profile(self.numeric_profile)
         return self
 
+    def refactorize(self, a: CsrMatrix) -> "DirectSolver":
+        """Numeric-only refactorization for a same-pattern matrix.
+
+        When the symbolic phase has run and ``symbolic_reusable`` holds,
+        only the numeric phase is re-executed (the paper's phase (b));
+        the numeric guard raises
+        :class:`~repro.reuse.fingerprint.PatternChangedError` when the
+        pattern drifted.  Otherwise falls back to a full
+        :meth:`factorize` -- SuperLU always takes this branch because
+        partial pivoting couples its ordering to the values.
+        """
+        if not self._symbolic_done or not self.symbolic_reusable:
+            return self.factorize(a)
+        tr = get_tracer()
+        with tr.span("factor/numeric") as sp:
+            sp.annotate(solver=type(self).__name__, reused_symbolic=True)
+            self.numeric(a)
+            sp.add_profile(self.numeric_profile)
+        return self
+
     def _require(self, phase: str) -> None:
         if phase == "numeric" and not self._symbolic_done:
             raise RuntimeError("call symbolic() before numeric()")

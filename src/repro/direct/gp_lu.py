@@ -23,6 +23,7 @@ import numpy as np
 from repro.direct.base import DirectSolver
 from repro.machine.kernels import KernelProfile
 from repro.ordering import amd, natural, nested_dissection, rcm
+from repro.reuse.fingerprint import check_same_pattern, pattern_fingerprint
 from repro.sparse.blocks import inverse_permutation, permute
 from repro.sparse.csr import CsrMatrix
 
@@ -88,6 +89,7 @@ class GilbertPeierlsLU(DirectSolver):
         if a.n_rows != a.n_cols:
             raise ValueError("square matrix required")
         self.perm = _ordering_perm(a, self.ordering)
+        self._pattern_fp = pattern_fingerprint(a)
         n = a.n_rows
         self.symbolic_profile = KernelProfile()
         # ordering cost: a small multiple of |graph| traversals
@@ -112,6 +114,10 @@ class GilbertPeierlsLU(DirectSolver):
         import heapq
 
         self._require("numeric")
+        # the ordering was computed for the symbolic-time pattern; a new
+        # pattern silently degrades it (and invalidates any reuse-cache
+        # assumption about this solver), so it is a hard error
+        check_same_pattern(self._pattern_fp, a, "superlu")
         n = a.n_rows
         ap = permute(a, self.perm)
         acsc = ap.transpose()  # CSR of A^T = CSC of A

@@ -26,6 +26,7 @@ from repro.direct.base import DirectSolver
 from repro.machine.kernels import KernelProfile
 from repro.ordering import amd, natural, nested_dissection, rcm
 from repro.ordering.etree import symbolic_cholesky
+from repro.reuse.fingerprint import check_same_pattern, pattern_fingerprint
 from repro.sparse.blocks import inverse_permutation, permute
 from repro.sparse.csr import CsrMatrix
 from repro.tri.supernodal import SupernodalTriangular, detect_supernodes
@@ -126,6 +127,7 @@ class MultifrontalCholesky(DirectSolver):
                 levels[p] = max(levels[p], levels[s] + 1)
         self._sn_levels = levels
 
+        self._pattern_fp = pattern_fingerprint(a)
         nnz_l = int(self._col_ind.size)
         self.symbolic_profile = KernelProfile()
         self.symbolic_profile.add(
@@ -139,8 +141,15 @@ class MultifrontalCholesky(DirectSolver):
 
     # ------------------------------------------------------------------
     def numeric(self, a: CsrMatrix) -> "MultifrontalCholesky":
-        """Numerical multifrontal factorization (same pattern as symbolic)."""
+        """Numerical multifrontal factorization (same pattern as symbolic).
+
+        A matrix whose pattern differs from the symbolic stamp raises
+        :class:`~repro.reuse.fingerprint.PatternChangedError` -- the
+        frontal scatter would otherwise index through a stale position
+        map and silently build factors of the wrong structure.
+        """
         self._require("numeric")
+        check_same_pattern(self._pattern_fp, a, "tacho")
         n = a.n_rows
         ap = permute(a, self.perm)
         alow = ap.transpose()  # CSC of ap: column j = row j of transpose

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.ilu.iluk import iluk_symbolic, _scatter_to_pattern
 from repro.machine.kernels import KernelProfile
+from repro.reuse.fingerprint import check_same_pattern, pattern_fingerprint
 from repro.resilience.context import get_engine
 from repro.resilience.detect import (
     DivergenceError,
@@ -105,6 +106,7 @@ class FastIlu:
             raise ValueError(f"unknown ordering {self.ordering!r}")
         ap = permute(a, self.perm)
         pptr, pind = iluk_symbolic(ap, self.level)
+        self._pattern_fp = pattern_fingerprint(a)
         self._pptr, self._pind = pptr, pind
         self.n = n
 
@@ -185,6 +187,7 @@ class FastIlu:
         initial guess ``L0 = strict_lower(A) D^{-1}``, ``U0 = upper(A)``."""
         if not self._symbolic_done:
             raise RuntimeError("call symbolic() before numeric()")
+        check_same_pattern(self._pattern_fp, a, "fastilu")
         from repro.sparse.blocks import permute
 
         ap = permute(a, self.perm)

@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.machine.kernels import KernelProfile
+from repro.reuse.fingerprint import check_same_pattern, pattern_fingerprint
 from repro.sparse.csr import CsrMatrix
 
 __all__ = ["iluk_symbolic", "IlukFactorization"]
@@ -129,6 +130,7 @@ class IlukFactorization:
 
         ap = permute(a, self.perm)
         self.pattern = iluk_symbolic(ap, self.level)
+        self._pattern_fp = pattern_fingerprint(a)
         nnz = int(self.pattern[1].size)
         self.symbolic_profile = KernelProfile()
         self.symbolic_profile.add(
@@ -139,9 +141,16 @@ class IlukFactorization:
 
     # ------------------------------------------------------------------
     def numeric(self, a: CsrMatrix) -> "IlukFactorization":
-        """IKJ factorization on the fixed pattern."""
+        """IKJ factorization on the fixed pattern.
+
+        A matrix whose pattern differs from the symbolic stamp raises
+        :class:`~repro.reuse.fingerprint.PatternChangedError`: the
+        pattern scatter silently *drops* entries outside the stale fill
+        pattern, which would corrupt the factors without any signal.
+        """
         if not self._symbolic_done:
             raise RuntimeError("call symbolic() before numeric()")
+        check_same_pattern(self._pattern_fp, a, "iluk")
         from repro.sparse.blocks import permute
 
         ap = permute(a, self.perm)

@@ -29,7 +29,20 @@ Operator = Union[CsrMatrix, Callable[[np.ndarray], np.ndarray]]
 GMRES_VARIANTS = ("mgs", "cgs", "single_reduce")
 
 
+#: call sites (filename, lineno) that already got the reducer warning --
+#: our own once-per-site registry, so the warning fires deterministically
+#: regardless of the ambient ``warnings`` filter configuration
+_REDUCER_WARNED_SITES: set = set()
+
+
 def _deprecated_reducer_warning(solver: str) -> None:
+    import sys
+
+    caller = sys._getframe(2)
+    site = (caller.f_code.co_filename, caller.f_lineno)
+    if site in _REDUCER_WARNED_SITES:
+        return
+    _REDUCER_WARNED_SITES.add(site)
     warnings.warn(
         f"the bare 'reducer' kwarg on {solver}() is deprecated; run the "
         "solve under a repro.obs.Tracer (with use_tracer(tracer): ...) and "

@@ -27,6 +27,8 @@ Span taxonomy (the names the instrumented stack emits)::
     apply/local_solve    apply/coarse_solve
     krylov/spmv          krylov/orth          krylov/allreduce
     factor/symbolic      factor/numeric       comm/message
+    reuse/skip_setup     reuse/refactor       reuse/local_refactor
+    reuse/extension_refactor  reuse/coarse_refactor  reuse/recycle
 
 Counters use fixed keys: ``flops``, ``bytes``, ``launches`` (from
 kernel profiles), ``reduces``, ``reduce_doubles`` (global reductions),

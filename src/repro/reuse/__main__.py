@@ -1,0 +1,48 @@
+"""CLI entry: ``python -m repro.reuse`` runs the k-solve reuse bench."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.reuse.bench import run_reuse_bench
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.reuse",
+        description="k-solve amortized-setup benchmark (BENCH_reuse.json)",
+    )
+    ap.add_argument("--out", default=None, help="write the JSON report here")
+    ap.add_argument("--k", type=int, default=4, help="solves per sequence")
+    ap.add_argument(
+        "--elements", type=int, default=6, help="elements per axis"
+    )
+    args = ap.parse_args(argv)
+
+    report = run_reuse_bench(k=args.k, elements=args.elements)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+    for kind, rec in sorted(report["kinds"].items()):
+        tag = "reusable" if rec["symbolic_reusable"] else "re-symbolic"
+        print(
+            f"[reuse] {kind:8s} ({tag}): first {rec['first_setup_seconds']:.3e}s, "
+            f"amortized {min(rec['amortized_setup_seconds']):.3e}s, "
+            f"iters {rec['iterations']}",
+            file=sys.stderr,
+        )
+    if report["violations"]:
+        for v in report["violations"]:
+            print(f"[reuse] VIOLATION: {v}", file=sys.stderr)
+        return 1
+    print("[reuse] all amortization/bit-identity invariants hold",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""Pattern-keyed artifact cache with an LRU bound.
+
+:class:`ArtifactCache` maps reuse keys (tuples built from
+:mod:`repro.reuse.fingerprint` digests plus configuration) to setup
+artifacts that are pure functions of the key: decomposition plans,
+overlap import plans, interface analyses.  Hits and misses are tallied
+as ``reuse_hits``/``reuse_misses`` counters on the ambient
+:class:`~repro.obs.tracer.Tracer`, so a traced solve shows exactly
+which artifacts were reused.
+
+:class:`LruDict` is the bound-enforcing mapping underneath; it is also
+what bounds the benchmark harness' problem/numerics memoization (the
+former unbounded module-global dicts).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Hashable, Iterator, Optional
+
+from repro.obs import get_tracer
+
+__all__ = [
+    "LruDict",
+    "ArtifactCache",
+    "get_artifact_cache",
+    "set_artifact_cache",
+    "use_artifact_cache",
+]
+
+
+class LruDict:
+    """A dict bounded to ``maxsize`` entries with LRU eviction.
+
+    Reads (``get``/``__getitem__``/``__contains__``-then-read idiom)
+    refresh recency; inserting past the bound evicts the least recently
+    used entry.  The interface is the small subset the harness and the
+    artifact cache need -- not a full MutableMapping.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __getitem__(self, key: Hashable) -> Any:
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key in self._data:
+            return self[key]
+        return default
+
+    def keys(self):
+        return self._data.keys()
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class ArtifactCache:
+    """LRU-bounded cache of pattern-keyed setup artifacts.
+
+    ``get`` emits a ``reuse_hits``/``reuse_misses`` counter (keyed by
+    the artifact family, the first element of the key tuple) onto the
+    ambient tracer; ``put`` stores under the LRU bound.  Values must be
+    treated as immutable by all users -- the same object is handed to
+    every hit.
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        self._lru = LruDict(maxsize)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def maxsize(self) -> int:
+        """The LRU bound (entries, not bytes)."""
+        return self._lru.maxsize
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def get(self, key: tuple) -> Optional[Any]:
+        """Look up an artifact; None on miss.  Counts onto the tracer."""
+        value = self._lru.get(key)
+        tr = get_tracer()
+        if value is None:
+            self.misses += 1
+            tr.count("reuse_misses")
+        else:
+            self.hits += 1
+            tr.count("reuse_hits")
+        return value
+
+    def put(self, key: tuple, value: Any) -> Any:
+        """Store an artifact (evicting LRU past the bound); returns it."""
+        self._lru[key] = value
+        return value
+
+    def clear(self) -> None:
+        """Drop every cached artifact and reset the hit/miss tallies."""
+        self._lru.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_DEFAULT_CACHE = ArtifactCache()
+_current: ArtifactCache = _DEFAULT_CACHE
+
+
+def get_artifact_cache() -> ArtifactCache:
+    """The ambient artifact cache consulted by the setup paths."""
+    return _current
+
+
+def set_artifact_cache(cache: ArtifactCache) -> None:
+    """Replace the ambient artifact cache."""
+    global _current
+    _current = cache
+
+
+@contextmanager
+def use_artifact_cache(cache: ArtifactCache) -> Iterator[ArtifactCache]:
+    """Scope an artifact cache (tests isolate hit/miss tallies this way)."""
+    global _current
+    prev = _current
+    _current = cache
+    try:
+        yield cache
+    finally:
+        _current = prev

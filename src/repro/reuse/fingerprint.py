@@ -1,0 +1,107 @@
+"""Sparsity-pattern and value fingerprints for artifact reuse.
+
+Every reusable setup artifact (ordering, elimination tree, ILU fill
+pattern, overlap import plan, interface analysis) is a pure function of
+the matrix *pattern*; the factors themselves additionally depend on the
+*values*.  A reuse decision therefore needs exactly two keys:
+
+* :func:`pattern_fingerprint` -- hash of ``(shape, indptr, indices)``;
+  equal fingerprints mean every symbolic artifact transfers.
+* :func:`values_fingerprint` -- hash of the pattern plus ``data``;
+  equal fingerprints mean the previous factorization itself transfers
+  (a repeated-RHS solve can skip setup entirely).
+
+Solvers stamp the pattern fingerprint at symbolic time and
+:func:`check_same_pattern` guards every numeric refactorization: a
+changed pattern raises :class:`PatternChangedError` instead of silently
+producing factors for the wrong structure (the multifrontal scatter,
+for example, would otherwise index through a stale position map).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = [
+    "PatternChangedError",
+    "pattern_fingerprint",
+    "values_fingerprint",
+    "partition_fingerprint",
+    "check_same_pattern",
+]
+
+
+class PatternChangedError(ValueError):
+    """A same-pattern refactorization was attempted with a new pattern.
+
+    Raised by the numeric phases of the refactorizable solvers (and by
+    :meth:`repro.dd.decomposition.Decomposition.with_values`) when the
+    matrix handed to a reuse path does not match the pattern the
+    symbolic artifacts were built for.  Rebuild from scratch (cold
+    ``factorize``/``symbolic``) to accept the new structure.
+    """
+
+    def __init__(self, message: str, where: str = "") -> None:
+        super().__init__(message)
+        self.where = where
+
+
+def _hash_arrays(*arrays) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for arr in arrays:
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def pattern_fingerprint(a) -> str:
+    """Fingerprint of a CSR matrix's sparsity pattern (shape + structure).
+
+    Two matrices with equal fingerprints share ``shape``, ``indptr`` and
+    ``indices`` bit-for-bit, so every pattern-derived artifact (ordering,
+    supernode partition, fill pattern, level schedule, overlap plan) is
+    valid for both.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr(tuple(a.shape)).encode())
+    h.update(_hash_arrays(a.indptr, a.indices).encode())
+    return h.hexdigest()
+
+
+def values_fingerprint(a) -> str:
+    """Fingerprint of pattern *and* values: equal means the same matrix."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(pattern_fingerprint(a).encode())
+    h.update(_hash_arrays(a.data).encode())
+    return h.hexdigest()
+
+
+def partition_fingerprint(node_parts) -> str:
+    """Fingerprint of a node partition (keys partition-derived artifacts)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(len(node_parts)).encode())
+    for part in node_parts:
+        h.update(_hash_arrays(np.asarray(part, dtype=np.int64)).encode())
+    return h.hexdigest()
+
+
+def check_same_pattern(expected_fp: str, a, where: str) -> None:
+    """Raise :class:`PatternChangedError` unless ``a`` matches the stamp.
+
+    ``expected_fp`` is the :func:`pattern_fingerprint` recorded when the
+    symbolic artifacts were built; ``where`` names the solver/structure
+    for the error message.
+    """
+    got = pattern_fingerprint(a)
+    if got != expected_fp:
+        raise PatternChangedError(
+            f"{where}: matrix pattern changed since the symbolic phase "
+            f"(expected fingerprint {expected_fp}, got {got}); the "
+            "symbolic artifacts are invalid for this structure -- rerun "
+            "the symbolic phase (cold factorize) instead of refactorizing",
+            where=where,
+        )

@@ -1,0 +1,80 @@
+"""Krylov solution recycling across a solve sequence.
+
+Across the solves of a sequence (load steps, Newton steps) the solutions
+span a low-dimensional subspace; projecting the new right-hand side onto
+it yields an initial guess that typically removes the first restart
+cycle or two [Fischer 1998-style solution recycling; the GCRO-DR family
+deflates the same way inside the iteration].
+
+:class:`RecycleSpace` keeps the last ``max_vectors`` solutions and
+suggests ``x0 = Z y`` with ``y = argmin ||b - A Z y||_2`` (a dense
+least-squares over ``k`` columns -- ``k`` SpMVs plus an ``n x k`` QR).
+Recycling changes the initial residual, hence the iterates, so it is
+strictly opt-in (``ReuseConfig(recycle=k)``); the default reuse path
+stays bit-identical to cold solves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.obs import get_tracer
+
+__all__ = ["RecycleSpace"]
+
+
+class RecycleSpace:
+    """A rolling basis of previous solutions for warm starts.
+
+    Parameters
+    ----------
+    max_vectors:
+        How many previous solutions to retain (the recycle dimension).
+    """
+
+    def __init__(self, max_vectors: int = 4) -> None:
+        if max_vectors < 1:
+            raise ValueError(f"max_vectors must be >= 1, got {max_vectors}")
+        self.max_vectors = int(max_vectors)
+        self._vectors: List[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def add(self, x: np.ndarray) -> None:
+        """Record a converged solution (drops the oldest past the bound)."""
+        x = np.asarray(x, dtype=np.float64)
+        if not np.all(np.isfinite(x)) or not np.any(x):
+            return
+        self._vectors.append(x.copy())
+        if len(self._vectors) > self.max_vectors:
+            self._vectors.pop(0)
+
+    def suggest_x0(
+        self,
+        apply_a: Callable[[np.ndarray], np.ndarray],
+        b: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Least-squares projection of ``b`` onto the recycled span.
+
+        Returns ``Z y`` minimizing ``||b - (A Z) y||_2`` over the stored
+        solutions ``Z``, or None when the space is empty.  Costs one
+        SpMV per stored vector (traced as a ``reuse/recycle`` span).
+        """
+        if not self._vectors:
+            return None
+        b = np.asarray(b, dtype=np.float64)
+        with get_tracer().span("reuse/recycle") as sp:
+            z = np.stack(self._vectors, axis=1)
+            az = np.stack([apply_a(zc) for zc in self._vectors], axis=1)
+            sp.count("recycle_dim", float(z.shape[1]))
+            y, *_ = np.linalg.lstsq(az, b, rcond=None)
+            if not np.all(np.isfinite(y)):
+                return None
+            return z @ y
+
+    def clear(self) -> None:
+        """Forget every stored solution."""
+        self._vectors.clear()

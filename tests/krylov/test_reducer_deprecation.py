@@ -1,0 +1,97 @@
+"""The deprecated bare ``reducer`` kwarg warns once per call site.
+
+PR-1 deprecated the pre-tracer reduction plumbing; this pins the
+completed behavior: every Krylov entry point warns on ``reducer=``, the
+warning is a ``DeprecationWarning``, and our own site registry fires it
+exactly once per call site regardless of the ambient warning filters.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.krylov import ReduceCounter, cg, gmres, pipelined_cg
+from tests.conftest import random_spd
+
+
+@pytest.fixture(autouse=True)
+def _fresh_site_registry():
+    """Isolate the once-per-site registry so test order cannot matter."""
+    from repro.krylov.gmres import _REDUCER_WARNED_SITES
+
+    saved = set(_REDUCER_WARNED_SITES)
+    _REDUCER_WARNED_SITES.clear()
+    yield
+    _REDUCER_WARNED_SITES.clear()
+    _REDUCER_WARNED_SITES.update(saved)
+
+
+@pytest.fixture
+def system(rng):
+    a = random_spd(25, seed=1)
+    return a, rng.standard_normal(25)
+
+
+def test_gmres_reducer_warns(system):
+    a, b = system
+    with pytest.deprecated_call(match="reducer.*deprecated"):
+        gmres(a, b, rtol=1e-8, reducer=ReduceCounter())
+
+
+def test_cg_reducer_warns(system):
+    a, b = system
+    with pytest.deprecated_call(match="reducer.*deprecated"):
+        cg(a, b, rtol=1e-8, reducer=ReduceCounter())
+
+
+def test_pipelined_cg_reducer_warns(system):
+    a, b = system
+    with pytest.deprecated_call(match="reducer.*deprecated"):
+        pipelined_cg(a, b, rtol=1e-8, reducer=ReduceCounter())
+
+
+def test_no_warning_without_reducer(system):
+    a, b = system
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        gmres(a, b, rtol=1e-8)
+        cg(a, b, rtol=1e-8)
+
+
+def test_warns_exactly_once_per_call_site(system):
+    a, b = system
+    with warnings.catch_warnings(record=True) as caught:
+        # "always" would re-emit on every call without the site registry
+        warnings.simplefilter("always")
+        for _ in range(3):
+            gmres(a, b, rtol=1e-8, reducer=ReduceCounter())  # one site
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(dep) == 1
+
+
+def test_distinct_call_sites_each_warn(system):
+    a, b = system
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        gmres(a, b, rtol=1e-8, reducer=ReduceCounter())
+        gmres(a, b, rtol=1e-8, reducer=ReduceCounter())  # different line
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(dep) == 2
+
+
+def test_reducer_still_counts_reductions(system):
+    a, b = system
+    red = ReduceCounter()
+    with pytest.deprecated_call():
+        res = gmres(a, b, rtol=1e-8, reducer=red)
+    assert res.converged
+    assert red.count > 0
+
+
+def test_registry_is_module_state():
+    from repro.krylov.gmres import _REDUCER_WARNED_SITES
+
+    assert isinstance(_REDUCER_WARNED_SITES, set)

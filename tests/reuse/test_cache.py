@@ -1,0 +1,118 @@
+"""LRU bounds, artifact-cache accounting, and harness cache coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reuse import ArtifactCache, LruDict, use_artifact_cache
+
+
+class TestLruDict:
+    def test_bound_never_exceeded(self):
+        d = LruDict(maxsize=5)
+        for i in range(200):
+            d[("k", i)] = i
+            assert len(d) <= 5
+        # only the five most recent keys survive
+        assert sorted(k[1] for k in d.keys()) == list(range(195, 200))
+
+    def test_get_refreshes_recency(self):
+        d = LruDict(maxsize=2)
+        d["a"] = 1
+        d["b"] = 2
+        assert d["a"] == 1  # refresh 'a'
+        d["c"] = 3  # evicts 'b', not 'a'
+        assert "a" in d and "c" in d and "b" not in d
+
+    def test_overwrite_does_not_grow(self):
+        d = LruDict(maxsize=3)
+        for i in range(10):
+            d["same"] = i
+        assert len(d) == 1 and d["same"] == 9
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            LruDict(maxsize=0)
+
+    def test_clear(self):
+        d = LruDict(maxsize=4)
+        d["x"] = 1
+        d.clear()
+        assert len(d) == 0 and "x" not in d
+
+
+class TestArtifactCache:
+    def test_hit_miss_tallies(self):
+        c = ArtifactCache(maxsize=4)
+        assert c.get(("plan", "fp1")) is None
+        c.put(("plan", "fp1"), object())
+        assert c.get(("plan", "fp1")) is not None
+        assert c.misses == 1 and c.hits == 1
+
+    def test_bound_enforced(self):
+        c = ArtifactCache(maxsize=3)
+        for i in range(50):
+            c.put(("k", i), i)
+            assert len(c) <= 3
+
+    def test_clear_resets_tallies(self):
+        c = ArtifactCache(maxsize=2)
+        c.get(("missing",))
+        c.put(("a",), 1)
+        c.clear()
+        assert len(c) == 0 and c.hits == 0 and c.misses == 0
+
+    def test_scoped_cache(self):
+        from repro.reuse import get_artifact_cache
+
+        outer = get_artifact_cache()
+        with use_artifact_cache(ArtifactCache(maxsize=2)) as inner:
+            assert get_artifact_cache() is inner
+            assert get_artifact_cache() is not outer
+        assert get_artifact_cache() is outer
+
+
+class TestHarnessCaches:
+    """Regression: the bench memoization can never grow without bound."""
+
+    def test_problem_cache_is_bounded(self):
+        from repro.bench import harness
+
+        assert isinstance(harness._PROBLEM_CACHE, LruDict)
+        bound = harness._PROBLEM_CACHE.maxsize
+        # churn far past the bound with tiny problems
+        harness.clear_cache()
+        for i in range(bound + 5):
+            harness._PROBLEM_CACHE[("weak", 1, i)] = object()
+            assert len(harness._PROBLEM_CACHE) <= bound
+        harness.clear_cache()
+
+    def test_numerics_cache_is_bounded(self):
+        from repro.bench import harness
+
+        assert isinstance(harness._NUMERICS_CACHE, LruDict)
+        bound = harness._NUMERICS_CACHE.maxsize
+        harness.clear_cache()
+        for i in range(bound + 5):
+            harness._NUMERICS_CACHE[("cfg", i)] = object()
+            assert len(harness._NUMERICS_CACHE) <= bound
+        harness.clear_cache()
+
+    def test_clear_cache_covers_artifact_cache(self):
+        from repro.bench import harness
+        from repro.reuse import get_artifact_cache
+
+        cache = get_artifact_cache()
+        cache.put(("test-artifact",), object())
+        assert len(cache) > 0
+        harness.clear_cache()
+        assert len(cache) == 0
+
+    def test_weak_problem_memoized_and_reusable(self):
+        from repro.bench.harness import clear_cache, weak_scaled_problem
+
+        clear_cache()
+        p1 = weak_scaled_problem(1, elements_per_node_axis=2)
+        p2 = weak_scaled_problem(1, elements_per_node_axis=2)
+        assert p1 is p2
+        clear_cache()

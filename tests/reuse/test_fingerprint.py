@@ -1,0 +1,67 @@
+"""Pattern/values fingerprints and the pattern-change guard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reuse import (
+    PatternChangedError,
+    check_same_pattern,
+    partition_fingerprint,
+    pattern_fingerprint,
+    values_fingerprint,
+)
+from repro.sparse.csr import CsrMatrix
+from tests.conftest import random_spd
+
+
+def _scaled(a: CsrMatrix, s: float) -> CsrMatrix:
+    return CsrMatrix(a.indptr.copy(), a.indices.copy(), a.data * s, a.shape)
+
+
+class TestFingerprints:
+    def test_pattern_stable_under_value_change(self):
+        a = random_spd(20, seed=1)
+        assert pattern_fingerprint(a) == pattern_fingerprint(_scaled(a, 2.5))
+
+    def test_values_fingerprint_sees_value_change(self):
+        a = random_spd(20, seed=1)
+        assert values_fingerprint(a) != values_fingerprint(_scaled(a, 2.5))
+        assert values_fingerprint(a) == values_fingerprint(_scaled(a, 1.0))
+
+    def test_pattern_fingerprint_sees_pattern_change(self):
+        a = random_spd(20, seed=1)
+        b = random_spd(20, seed=2)
+        assert pattern_fingerprint(a) != pattern_fingerprint(b)
+
+    def test_shape_is_part_of_the_pattern(self):
+        a = random_spd(10, seed=3)
+        b = random_spd(11, seed=3)
+        assert pattern_fingerprint(a) != pattern_fingerprint(b)
+
+    def test_partition_fingerprint(self):
+        p1 = [np.array([0, 1]), np.array([2, 3])]
+        p2 = [np.array([0, 1, 2]), np.array([3])]
+        assert partition_fingerprint(p1) == partition_fingerprint(
+            [q.copy() for q in p1]
+        )
+        assert partition_fingerprint(p1) != partition_fingerprint(p2)
+
+
+class TestGuard:
+    def test_check_same_pattern_passes(self):
+        a = random_spd(15, seed=4)
+        check_same_pattern(pattern_fingerprint(a), _scaled(a, 0.5), "test")
+
+    def test_check_same_pattern_raises_with_context(self):
+        a = random_spd(15, seed=4)
+        b = random_spd(15, seed=5)
+        with pytest.raises(PatternChangedError, match="test.*pattern changed"):
+            check_same_pattern(pattern_fingerprint(a), b, "test")
+
+    def test_error_is_a_value_error(self):
+        a = random_spd(8, seed=6)
+        b = random_spd(8, seed=7)
+        with pytest.raises(ValueError):
+            check_same_pattern(pattern_fingerprint(a), b, "x")

@@ -1,0 +1,137 @@
+"""Refactorization bit-identity and pattern-change guards (all kinds).
+
+For every solver whose symbolic phase is reusable,
+``symbolic(A)``-then-``numeric(A')`` must produce *exactly* the factors
+of a cold factorization of ``A'`` -- the reuse path may not change a
+single bit of the numerics.  A changed pattern must raise
+:class:`~repro.reuse.PatternChangedError` instead of silently
+corrupting the cached symbolic structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reuse import PatternChangedError
+from repro.sparse.csr import CsrMatrix
+from tests.conftest import random_spd
+
+
+def _scaled(a: CsrMatrix, s: float) -> CsrMatrix:
+    return CsrMatrix(a.indptr.copy(), a.indices.copy(), a.data * s, a.shape)
+
+
+@pytest.fixture(scope="module")
+def mats():
+    a = random_spd(40, seed=11, density=0.15)
+    return a, _scaled(a, 1.7), random_spd(40, seed=12, density=0.2)
+
+
+class TestTacho:
+    def test_refactorize_bit_identical(self, mats, rng):
+        from repro.direct import MultifrontalCholesky
+
+        a, a2, _ = mats
+        warm = MultifrontalCholesky(ordering="nd").factorize(a)
+        warm.refactorize(a2)
+        cold = MultifrontalCholesky(ordering="nd").factorize(a2)
+        b = rng.standard_normal(a.n_rows)
+        assert np.array_equal(warm.solve(b), cold.solve(b))
+
+    def test_pattern_change_raises(self, mats):
+        from repro.direct import MultifrontalCholesky
+
+        a, _, other = mats
+        warm = MultifrontalCholesky(ordering="nd").factorize(a)
+        with pytest.raises(PatternChangedError, match="tacho"):
+            warm.numeric(other)
+
+
+class TestSuperlu:
+    def test_refactorize_falls_back_to_cold(self, mats, rng):
+        from repro.direct import GilbertPeierlsLU
+
+        a, a2, _ = mats
+        warm = GilbertPeierlsLU(ordering="nd").factorize(a)
+        warm.refactorize(a2)  # full re-run: symbolic_reusable is False
+        cold = GilbertPeierlsLU(ordering="nd").factorize(a2)
+        b = rng.standard_normal(a.n_rows)
+        assert np.array_equal(warm.solve(b), cold.solve(b))
+
+    def test_direct_numeric_with_new_pattern_raises(self, mats):
+        from repro.direct import GilbertPeierlsLU
+
+        a, _, other = mats
+        warm = GilbertPeierlsLU(ordering="nd").factorize(a)
+        with pytest.raises(PatternChangedError, match="superlu"):
+            warm.numeric(other)
+
+
+class TestIluk:
+    def test_renumeric_bit_identical(self, mats):
+        from repro.ilu import IlukFactorization
+
+        a, a2, _ = mats
+        warm = IlukFactorization(level=1, ordering="nd").symbolic(a).numeric(a)
+        warm.numeric(a2)
+        cold = IlukFactorization(level=1, ordering="nd").symbolic(a2).numeric(a2)
+        assert np.array_equal(warm.l.data, cold.l.data)
+        assert np.array_equal(warm.u.data, cold.u.data)
+        assert np.array_equal(warm.l.indices, cold.l.indices)
+
+    def test_pattern_change_raises(self, mats):
+        from repro.ilu import IlukFactorization
+
+        a, _, other = mats
+        warm = IlukFactorization(level=1, ordering="nd").symbolic(a).numeric(a)
+        with pytest.raises(PatternChangedError, match="iluk"):
+            warm.numeric(other)
+
+
+class TestFastIlu:
+    def test_renumeric_bit_identical(self, mats):
+        from repro.ilu import FastIlu
+
+        a, a2, _ = mats
+        warm = FastIlu(level=1, sweeps=3, ordering="nd").symbolic(a).numeric(a)
+        warm.numeric(a2)
+        cold = FastIlu(level=1, sweeps=3, ordering="nd").symbolic(a2).numeric(a2)
+        assert np.array_equal(warm.l.data, cold.l.data)
+        assert np.array_equal(warm.u.data, cold.u.data)
+        assert np.array_equal(warm.row_scale, cold.row_scale)
+
+    def test_pattern_change_raises(self, mats):
+        from repro.ilu import FastIlu
+
+        a, _, other = mats
+        warm = FastIlu(level=1, ordering="nd").symbolic(a).numeric(a)
+        with pytest.raises(PatternChangedError, match="fastilu"):
+            warm.numeric(other)
+
+
+class TestFactoredLocalRefactor:
+    """The spec-level wrap: refactor() returns a fresh FactoredLocal."""
+
+    @pytest.mark.parametrize("kind", ["tacho", "superlu", "iluk", "fastilu"])
+    def test_refactor_matches_cold_build(self, mats, rng, kind):
+        from repro.dd.local_solvers import LocalSolverSpec
+
+        a, a2, _ = mats
+        spec = LocalSolverSpec(kind=kind, ordering="nd", ilu_level=1)
+        warm = spec.build(a).refactor(a2)
+        cold = spec.build(a2)
+        v = rng.standard_normal(a.n_rows)
+        assert np.array_equal(warm.apply(v), cold.apply(v))
+        assert warm.symbolic_reusable == cold.symbolic_reusable
+
+    def test_decomposition_with_values_guards_pattern(self, mats):
+        from repro.dd.decomposition import Decomposition
+
+        a, a2, other = mats
+        dec = Decomposition.algebraic(a, n_parts=2)
+        dec2 = dec.with_values(a2)
+        assert dec2.node_parts is dec.node_parts
+        assert dec2.a is a2
+        with pytest.raises(PatternChangedError, match="decomposition"):
+            dec.with_values(other)
