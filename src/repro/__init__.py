@@ -63,6 +63,13 @@ from repro.fem import (
     rigid_body_modes,
     translations_only,
 )
+from repro.ft import (
+    FaultTolerantComm,
+    FaultToleranceConfig,
+    FtReport,
+    RankFailedError,
+    RankFailurePlan,
+)
 from repro.krylov import ReduceCounter, SolveStatus, cg, gmres
 from repro.obs import Tracer, get_tracer, use_tracer
 from repro.resilience import (
@@ -89,6 +96,9 @@ __all__ = [
     "Decomposition",
     "FaultPlan",
     "FaultSpec",
+    "FaultToleranceConfig",
+    "FaultTolerantComm",
+    "FtReport",
     "GDSWPreconditioner",
     "HalfPrecisionOperator",
     "HealthReport",
@@ -97,6 +107,8 @@ __all__ = [
     "LocalSolverSpec",
     "OneLevelSchwarz",
     "PatternChangedError",
+    "RankFailedError",
+    "RankFailurePlan",
     "ReduceCounter",
     "ResilienceConfig",
     "ReuseConfig",

@@ -199,6 +199,9 @@ class SessionResult:
     #: :meth:`SolverSession.resolve` skip/refactor paths); the priced
     #: setup is then the refactorization cost, not the first-solve cost
     setup_reused: bool = False
+    #: :class:`repro.ft.FtReport` when the session was constructed with
+    #: ``fault_tolerance=``; None otherwise
+    ft: Optional[object] = None
 
     def priced_setup_seconds(self, layout) -> float:
         """The setup time this solve is billed under ``layout``.
@@ -280,6 +283,17 @@ class SolverSession:
         ``SessionResult.health`` and ``SessionResult.status`` reads
         ``"recovered"`` when the solve converged only thanks to
         recovery actions.
+    fault_tolerance:
+        ``False`` (default) solves without rank-loss protection.
+        ``True`` enables the :mod:`repro.ft` fault-tolerant driver with
+        defaults; a :class:`~repro.ft.FaultToleranceConfig` selects the
+        failure plan, recovery strategy (shrink/respawn) and checkpoint
+        cadence.  The :class:`~repro.ft.FtReport` lands on
+        ``SessionResult.ft``, the rank-loss recovery actions on
+        ``SessionResult.health``, and ``SessionResult.status`` reads
+        ``"recovered"`` when the solve converged after a repair.
+        Mutually exclusive with ``resilience=`` (the two runtimes own
+        the solve loop in incompatible ways).
     reuse:
         Controls the amortized-setup paths of :meth:`resolve` and
         :meth:`solve_sequence`.  The default (``False`` or ``True``)
@@ -300,6 +314,7 @@ class SolverSession:
         tracer: Optional[Tracer] = None,
         verify: object = False,
         resilience: object = False,
+        fault_tolerance: object = False,
         reuse: object = False,
     ) -> None:
         for attr in ("a", "b"):
@@ -329,6 +344,17 @@ class SolverSession:
 
             resilience = ResilienceConfig()
         self.resilience: object = resilience or None
+        if fault_tolerance is True:
+            from repro.ft import FaultToleranceConfig
+
+            fault_tolerance = FaultToleranceConfig()
+        self.fault_tolerance: object = fault_tolerance or None
+        if self.fault_tolerance is not None and self.resilience is not None:
+            raise ValueError(
+                "resilience= and fault_tolerance= are mutually exclusive: "
+                "the breakdown-tolerant engine and the rank-loss driver "
+                "each own the solve loop; run them in separate sessions"
+            )
         # reuse is always available through resolve()/solve_sequence();
         # the config only switches on the opt-in non-bit-identical
         # accelerators (warm start, recycling)
@@ -453,6 +479,10 @@ class SolverSession:
         and the iteration restarts from the last finite iterate, until
         the solve converges or the restart budget is spent.
         """
+        if self.fault_tolerance is not None:
+            from repro.ft.driver import solve_fault_tolerant
+
+            return solve_fault_tolerant(self, self.fault_tolerance)
         kry = self.krylov
         problem = self.problem
         tracer = self.tracer or Tracer()

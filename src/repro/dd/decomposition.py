@@ -95,6 +95,65 @@ class Decomposition:
         """The dof-level nonoverlapping partition."""
         return [self.dofs_of_nodes(p) for p in self.node_parts]
 
+    def neighbors_of(self, rank: int) -> List[int]:
+        """Subdomains adjacent to ``rank`` in the node graph.
+
+        Two subdomains are neighbors when any node of one couples to a
+        node of the other; this is the set a halo exchange touches and
+        the candidate pool for :meth:`merge_into_neighbor` and for
+        buddy-checkpoint placement in :mod:`repro.ft`.
+        """
+        part = self.node_parts[rank]
+        if part.size == 0:
+            return []
+        cols = np.concatenate(
+            [
+                self.graph.indices[self.graph.indptr[u]: self.graph.indptr[u + 1]]
+                for u in part
+            ]
+        )
+        owners = np.unique(self.node_owner[cols])
+        return [int(o) for o in owners if o != rank]
+
+    def merge_into_neighbor(
+        self, dead: int, into: "int | None" = None
+    ) -> "Decomposition":
+        """The partition with subdomain ``dead`` absorbed by a neighbor.
+
+        This is the *shrink* recovery of :mod:`repro.ft`: when a rank
+        dies without a respawn slot, its nonoverlapping part is merged
+        into an adjacent surviving subdomain and the solver continues on
+        one rank fewer.  ``into`` defaults to the smallest adjacent
+        subdomain (ties broken by rank index) to keep the merged load as
+        balanced as possible.  Ranks above ``dead`` shift down by one in
+        the returned decomposition; the matrix and node graph are shared
+        (only the partition changes).
+        """
+        if not (0 <= dead < self.n_subdomains):
+            raise ValueError(
+                f"dead rank {dead} out of range [0, {self.n_subdomains})"
+            )
+        if self.n_subdomains < 2:
+            raise ValueError("cannot remove the only subdomain")
+        if into is None:
+            candidates = self.neighbors_of(dead) or [
+                r for r in range(self.n_subdomains) if r != dead
+            ]
+            into = min(candidates, key=lambda r: (self.node_parts[r].size, r))
+        if into == dead or not (0 <= into < self.n_subdomains):
+            raise ValueError(
+                f"merge target {into} invalid for dead rank {dead} "
+                f"({self.n_subdomains} subdomains)"
+            )
+        parts = []
+        for r, p in enumerate(self.node_parts):
+            if r == dead:
+                continue
+            if r == into:
+                p = np.sort(np.concatenate([p, self.node_parts[dead]]))
+            parts.append(p)
+        return Decomposition(self.a, self.dofs_per_node, parts, self.graph)
+
     def with_values(self, a_new: CsrMatrix) -> "Decomposition":
         """The same partition plan over a same-pattern matrix.
 

@@ -43,6 +43,13 @@ class OneLevelSchwarz:
         correction taken only from its owner; reduces communication and
         often iterations).  The paper uses plain additive Schwarz
         (False).
+    reuse_from:
+        An existing :class:`OneLevelSchwarz` built over the *same matrix
+        values* (typically the pre-failure operator during a
+        :mod:`repro.ft` shrink recovery).  Ranks whose overlapping dof
+        set is identical to one of the donor's reuse its factorization
+        outright -- after a single-subdomain merge only the subdomains
+        overlapping the merged region need refactoring.
 
     Attributes
     ----------
@@ -61,6 +68,7 @@ class OneLevelSchwarz:
         spec: LocalSolverSpec,
         overlap: int = 1,
         restricted: bool = False,
+        reuse_from: "OneLevelSchwarz | None" = None,
     ) -> None:
         self.dec = dec
         self.spec = spec
@@ -97,10 +105,27 @@ class OneLevelSchwarz:
             )
         self.locals: List[FactoredLocal] = []
         self.matrices: List[CsrMatrix] = []
+        # donor factorizations keyed by their overlapping dof set; valid
+        # only because reuse_from shares the matrix values (documented
+        # contract), so an identical dof set implies an identical A_i
+        donor = {}
+        if reuse_from is not None and reuse_from.spec == spec:
+            for d, a_i, loc in zip(
+                reuse_from.dof_sets, reuse_from.matrices, reuse_from.locals
+            ):
+                donor[d.tobytes()] = (a_i, loc)
         eng = get_engine()
         if eng is not None:
             eng.register_one_level(self)
         for rank, dofs in enumerate(self.dof_sets):
+            hit = donor.get(dofs.tobytes())
+            if hit is not None:
+                with tr.span("reuse/skip_setup", rank=rank) as sp:
+                    sp.annotate(solver=spec.describe(), n=int(dofs.size))
+                    a_i, loc = hit
+                    self.matrices.append(a_i)
+                    self.locals.append(loc)
+                continue
             with tr.span("setup/local_factor", rank=rank) as sp:
                 sp.annotate(solver=spec.describe(), n=int(dofs.size))
                 a_i = extract_submatrix(dec.a, dofs, dofs)

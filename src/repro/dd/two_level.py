@@ -75,6 +75,12 @@ class GDSWPreconditioner:
         inexactly (the three-level method of Section III).
     multilevel_parts:
         Second-level subdomain count for ``coarse_solver="multilevel"``.
+    reuse_from:
+        An existing preconditioner over the *same matrix values* whose
+        untouched local factorizations should be reused (forwarded to
+        :class:`~repro.dd.schwarz.OneLevelSchwarz`); the shrink-recovery
+        path of :meth:`remove_subdomain` passes the pre-failure
+        preconditioner here.
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class GDSWPreconditioner:
         adaptive_tol: float = 1e-2,
         coarse_solver: str = "direct",
         multilevel_parts: int = 4,
+        reuse_from: "GDSWPreconditioner | None" = None,
     ) -> None:
         if coarse_solver not in ("direct", "multilevel"):
             raise ValueError("coarse_solver must be 'direct' or 'multilevel'")
@@ -99,11 +106,22 @@ class GDSWPreconditioner:
         extension_spec = extension_spec or LocalSolverSpec(kind="tacho", ordering="nd")
         self.local_spec = local_spec
         self.variant = variant
+        # everything :meth:`remove_subdomain` needs to rebuild over a
+        # repaired partition
+        self._nullspace = nullspace
+        self._dim = dim
+        self._extension_spec = extension_spec
+        self._adaptive_tol = adaptive_tol
 
         tr = get_tracer()
 
         # ---- one-level part ----
-        self.one_level = OneLevelSchwarz(dec, local_spec, overlap=overlap)
+        self.one_level = OneLevelSchwarz(
+            dec,
+            local_spec,
+            overlap=overlap,
+            reuse_from=None if reuse_from is None else reuse_from.one_level,
+        )
 
         # ---- coarse level ----
         with tr.span("setup/coarse_basis") as sp:
@@ -282,6 +300,44 @@ class GDSWPreconditioner:
                 sp.annotate(reused_symbolic=False)
                 self.coarse = self._coarse_spec.build(a0_new)
         self._compute_phi_rank_nnz()
+
+    def remove_subdomain(
+        self, dead: int, into: "int | None" = None
+    ) -> "GDSWPreconditioner":
+        """The preconditioner repaired after losing subdomain ``dead``.
+
+        The *shrink* recovery of :mod:`repro.ft`: the dead rank's
+        nonoverlapping part is merged into a neighbor
+        (:meth:`~repro.dd.decomposition.Decomposition.merge_into_neighbor`)
+        and a preconditioner over the merged partition is returned.  The
+        matrix values are unchanged, so one-level local factorizations
+        whose overlapping dof sets survive the merge are reused as-is
+        (``reuse_from``) -- only subdomains overlapping the merged
+        region refactor.  The coarse level is rebuilt from scratch: the
+        interface moves wherever the partition does, and Al Daas-style
+        robustness arguments make the coarse space exactly the object
+        that must track the new partition.
+        """
+        dec_new = self.dec.merge_into_neighbor(dead, into)
+        with get_tracer().span("ft/precond_repair") as sp:
+            sp.annotate(
+                dead_rank=int(dead),
+                n_subdomains=int(dec_new.n_subdomains),
+            )
+            return GDSWPreconditioner(
+                dec_new,
+                self._nullspace,
+                local_spec=self.local_spec,
+                coarse_spec=self._coarse_spec,
+                overlap=self.one_level.overlap,
+                variant=self.variant,
+                dim=self._dim,
+                extension_spec=self._extension_spec,
+                adaptive_tol=self._adaptive_tol,
+                coarse_solver=self._coarse_solver_kind,
+                multilevel_parts=self._multilevel_parts,
+                reuse_from=self,
+            )
 
     def apply(self, v: np.ndarray) -> np.ndarray:
         """Apply ``M^{-1} v`` (additive combination of both levels)."""

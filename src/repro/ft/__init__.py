@@ -1,0 +1,63 @@
+"""Rank-loss fault tolerance: ULFM-style recovery for the model runtime.
+
+The :mod:`repro.resilience` ladder handles everything a *live* rank can
+retry -- pivot breakdowns, diverging sweeps, overflow, stagnation.
+This package handles the failure mode beyond all of those: the process
+itself dies.  It simulates MPI's User-Level Failure Mitigation (ULFM)
+semantics on top of :class:`~repro.runtime.simmpi.SimComm` and
+implements the standard HPC recovery stack over it:
+
+* :class:`FaultTolerantComm` -- survivors see
+  :class:`RankFailedError` on any op touching a dead rank; repaired by
+  :meth:`~FaultTolerantComm.shrink` or
+  :meth:`~FaultTolerantComm.respawn`;
+* :class:`RankFailurePlan` -- seeded, phase-keyed death schedules;
+* :class:`CheckpointStore` -- diskless in-memory checkpoints with
+  neighbor (buddy) replication, priced as halo traffic;
+* :func:`~repro.ft.recovery.interpolated_restart` -- restart iterate
+  from surviving checkpoint copies, lost segments filled by the GDSW
+  coarse interpolation, tolerance re-anchored to the original residual;
+* :func:`solve_fault_tolerant` / ``SolverSession(fault_tolerance=)`` --
+  the driver threading all of the above through an unchanged Krylov
+  solve;
+* ``python -m repro.ft`` -- the chaos matrix (kill-phase x strategy)
+  emitting ``BENCH_ft.json`` for the CI ``chaos-ft`` gate.
+"""
+
+from repro.ft.checkpoint import CheckpointStore
+from repro.ft.comm import CHECKPOINT_TAG, FaultTolerantComm, RankFailedError
+from repro.ft.driver import (
+    STRATEGIES,
+    FaultToleranceConfig,
+    FtOperator,
+    FtReport,
+    solve_fault_tolerant,
+)
+from repro.ft.plan import PHASES, RankFailure, RankFailurePlan
+from repro.ft.recovery import (
+    interpolated_restart,
+    local_fingerprints,
+    rank_loss_action,
+    repair_respawn,
+    repair_shrink,
+)
+
+__all__ = [
+    "PHASES",
+    "STRATEGIES",
+    "CHECKPOINT_TAG",
+    "RankFailure",
+    "RankFailurePlan",
+    "RankFailedError",
+    "FaultTolerantComm",
+    "CheckpointStore",
+    "FaultToleranceConfig",
+    "FtOperator",
+    "FtReport",
+    "solve_fault_tolerant",
+    "rank_loss_action",
+    "local_fingerprints",
+    "repair_shrink",
+    "repair_respawn",
+    "interpolated_restart",
+]

@@ -1,0 +1,235 @@
+"""Rank-loss chaos driver: the kill matrix as an executable check.
+
+``PYTHONPATH=src python -m repro.ft`` sweeps kill-phase
+(``setup`` / ``apply`` / ``reduce``) x recovery strategy
+(``shrink`` / ``respawn``) over a Laplace and a nearly-incompressible
+(``nu = 0.49``) elasticity problem, plus per problem:
+
+* a **control** arm (protection off) that must raise
+  :class:`~repro.ft.comm.RankFailedError` -- proving the scheduled
+  death is real and the recovery is doing the work, and
+* a **fault-free** arm measuring the checkpoint overhead against the
+  modeled solve time.
+
+Results land in ``BENCH_ft.json`` (``--out``); the CI ``chaos-ft`` job
+fails when any recovered arm misses the 1e-7 tolerance, any recovered
+arm needs more than twice the fault-free iterations, any control arm
+survives, or the fault-free checkpoint overhead exceeds 5% of the
+modeled solve time.  Exit status: 0 when every cell behaves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+__all__ = ["main", "run_matrix"]
+
+_RTOL = 1e-7
+#: kill op indexes a few operations into each phase, so setup kills
+#: strike after the sequential build and apply/reduce kills strike a
+#: few iterations in (checkpoints may or may not exist -- both paths
+#: are exercised; recovery must handle either)
+_KILL_OPS = {"setup": 2, "apply": 30, "reduce": 10}
+_KILL_RANK = 1
+#: iteration budget multiplier the recovered arms must stay within
+_ITER_FACTOR = 2.0
+#: modeled checkpoint overhead budget of the fault-free arm
+_OVERHEAD_BUDGET = 0.05
+
+
+def _problems(which: str):
+    from repro.fem import elasticity_3d, laplace_3d
+
+    out = []
+    if which in ("laplace", "all"):
+        out.append(("laplace", laplace_3d(6)))
+    if which in ("elasticity", "all"):
+        out.append(("elasticity", elasticity_3d(4, poisson_ratio=0.49)))
+    return out
+
+
+def _session(problem, ft_config):
+    from repro.api import KrylovConfig, SolverSession
+
+    return SolverSession(
+        problem,
+        partition=(2, 2, 1),
+        krylov=KrylovConfig(rtol=_RTOL),
+        fault_tolerance=ft_config,
+    )
+
+
+def _cell(problem, baseline_iters: int, phase: str, strategy: str,
+          seed: int):
+    """One protected kill cell; returns a record dict."""
+    from repro.ft import FaultToleranceConfig, RankFailurePlan
+
+    plan = RankFailurePlan.single(
+        _KILL_RANK, phase, _KILL_OPS[phase], seed=seed
+    )
+    cfg = FaultToleranceConfig(plan=plan, strategy=strategy)
+    res = _session(problem, cfg).solve()
+    recovered = bool(
+        res.converged
+        and np.all(np.isfinite(res.x))
+        and res.final_relres <= _RTOL * 1.01
+    )
+    within_budget = res.iterations <= _ITER_FACTOR * baseline_iters
+    return {
+        "phase": phase,
+        "strategy": strategy,
+        "ok": recovered and within_budget and res.ft.recoveries >= 1,
+        "status": str(res.status),
+        "iterations": int(res.iterations),
+        "baseline_iterations": int(baseline_iters),
+        "final_relres": float(res.final_relres),
+        "recoveries": int(res.ft.recoveries),
+        "failures": len(res.ft.failures),
+        "checkpoints": int(res.ft.checkpoints),
+        "lost_segments": res.ft.lost_segments,
+        "n_ranks_final": int(res.n_ranks),
+        "actions": [
+            {"kind": act.kind, "rank": act.rank, "detail": act.detail}
+            for act in (res.health.actions if res.health else [])
+        ],
+    }
+
+
+def _control_cell(problem, seed: int):
+    """Protection off: the death must take the solve down."""
+    from repro.ft import (
+        FaultToleranceConfig,
+        RankFailedError,
+        RankFailurePlan,
+    )
+
+    plan = RankFailurePlan.single(
+        _KILL_RANK, "apply", _KILL_OPS["apply"], seed=seed
+    )
+    cfg = FaultToleranceConfig(plan=plan, protect=False)
+    try:
+        res = _session(problem, cfg).solve()
+    except RankFailedError as err:
+        return {
+            "phase": "apply", "strategy": "none", "arm": "control",
+            "ok": True, "detail": f"raised RankFailedError: {err}",
+        }
+    return {
+        "phase": "apply", "strategy": "none", "arm": "control",
+        "ok": False,
+        "detail": "unguarded run survived a rank death: "
+                  f"status={res.status} relres={res.final_relres:.2e}",
+    }
+
+
+def _fault_free_cell(problem, baseline):
+    """Protected but fault-free: bit-identity + checkpoint overhead."""
+    from repro.runtime.layout import JobLayout
+
+    res = _session(problem, True).solve()
+    identical = bool(
+        np.array_equal(res.x, baseline.x)
+        and res.iterations == baseline.iterations
+        and res.reduces == baseline.reduces
+    )
+    layout = JobLayout.cpu_run(1, ranks_per_node=res.n_ranks)
+    modeled = res.timings(layout).total_seconds
+    ckpt = res.ft.modeled_checkpoint_seconds(layout)
+    overhead = ckpt / max(modeled, 1e-300)
+    return {
+        "arm": "fault_free",
+        "ok": identical and overhead <= _OVERHEAD_BUDGET,
+        "bit_identical": identical,
+        "checkpoints": int(res.ft.checkpoints),
+        "checkpoint_doubles": int(res.ft.checkpoint_doubles),
+        "modeled_solve_seconds": float(modeled),
+        "modeled_checkpoint_seconds": float(ckpt),
+        "checkpoint_overhead": float(overhead),
+        "overhead_budget": _OVERHEAD_BUDGET,
+    }
+
+
+def run_matrix(which: str = "all", seed: int = 7, out=sys.stdout) -> dict:
+    """Run the kill matrix; returns the BENCH_ft document."""
+    from repro.ft.plan import PHASES
+
+    doc = {"seed": int(seed), "rtol": _RTOL, "problems": {}}
+    bad = 0
+    for pname, problem in _problems(which):
+        baseline = _session(problem, False).solve()
+        cells = []
+        for phase in PHASES:
+            for strategy in ("shrink", "respawn"):
+                rec = _cell(problem, baseline.iterations, phase, strategy,
+                            seed)
+                cells.append(rec)
+                mark = "ok " if rec["ok"] else "BAD"
+                print(
+                    f"[{mark}] {pname:<10} kill@{phase:<6} {strategy:<7} "
+                    f"status={rec['status']} iters={rec['iterations']}"
+                    f"/{rec['baseline_iterations']} "
+                    f"relres={rec['final_relres']:.2e}",
+                    file=out,
+                )
+                bad += 0 if rec["ok"] else 1
+        for rec in (_control_cell(problem, seed),
+                    _fault_free_cell(problem, baseline)):
+            cells.append(rec)
+            mark = "ok " if rec["ok"] else "BAD"
+            arm = rec["arm"]
+            detail = rec.get("detail") or (
+                f"overhead={rec['checkpoint_overhead']:.2%} "
+                f"bit_identical={rec['bit_identical']}"
+            )
+            print(f"[{mark}] {pname:<10} {arm:<16} {detail}", file=out)
+            bad += 0 if rec["ok"] else 1
+        doc["problems"][pname] = {
+            "baseline_iterations": int(baseline.iterations),
+            "cells": cells,
+        }
+    doc["bad"] = bad
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ft",
+        description="run the deterministic rank-loss kill matrix",
+    )
+    parser.add_argument(
+        "--problem", choices=("laplace", "elasticity", "all"),
+        default="all", help="which problem family to kill (default: all)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="failure-plan seed (default: 7)"
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the matrix as JSON on stdout (human lines go to stderr)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_ft.json",
+        help="benchmark document path (default: BENCH_ft.json)",
+    )
+    args = parser.parse_args(argv)
+    human = sys.stderr if args.json else sys.stdout
+    doc = run_matrix(which=args.problem, seed=args.seed, out=human)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    if args.json:
+        json.dump(doc, sys.stdout, indent=2)
+        print()
+    if doc["bad"]:
+        print(f"{doc['bad']} kill cell(s) misbehaved", file=sys.stderr)
+        return 1
+    print("kill matrix clean", file=human)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""In-memory checkpointing with neighbor (buddy) replication.
+
+Diskless checkpointing in the classic buddy scheme: every rank
+periodically snapshots its recovery state -- the owned segment of the
+current solution, the tail of the Krylov basis, and a fingerprint of
+its local factorization -- and ships a copy to a *buddy* rank chosen
+among its subdomain neighbors (the replica then rides on halo-adjacent
+links, which is why it is priced as one extra neighbor message per
+snapshot).  When a rank dies, its primary copy dies with it, but the
+replica survives on the buddy; when the *buddy* dies instead, the
+primary survives.  Only the simultaneous death of a rank and its buddy
+loses a segment -- and even then the coarse-grid interpolation of
+:mod:`repro.ft.recovery` fills the hole.
+
+All snapshot traffic moves through the fault-tolerant communicator
+(tag :data:`~repro.ft.comm.CHECKPOINT_TAG`), so a rank can die *during*
+a checkpoint, and the shipped volume is tallied as
+``ft_checkpoint_doubles`` on the ambient tracer.  The modeled cost
+(:meth:`CheckpointStore.modeled_seconds`) prices each snapshot as one
+neighbor message per rank through the same alpha-beta model as halo
+traffic -- the CI gate requires this overhead below 5% of the modeled
+solve time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dd.decomposition import Decomposition
+from repro.ft.comm import CHECKPOINT_TAG, FaultTolerantComm
+from repro.obs import get_tracer
+
+__all__ = ["CheckpointStore"]
+
+
+class CheckpointStore:
+    """Buddy-replicated in-memory checkpoints of the solver state.
+
+    Parameters
+    ----------
+    dec:
+        The decomposition whose partition defines segment ownership and
+        the neighbor-based buddy map.
+    interval:
+        Snapshot every ``interval`` Krylov iterations (CG) or cycles
+        (GMRES).
+
+    Attributes
+    ----------
+    buddy:
+        Per-rank replica placement: the smallest-numbered subdomain
+        neighbor (deterministic), falling back to ``(r+1) % P`` for a
+        neighborless rank.
+    snapshots:
+        Snapshots taken so far (across rebinds).
+    doubles_shipped:
+        Total float64 values replicated to buddies.
+    """
+
+    def __init__(self, dec: Decomposition, interval: int = 5) -> None:
+        if interval < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got {interval}")
+        self.interval = int(interval)
+        self.snapshots = 0
+        self.doubles_shipped = 0
+        #: doubles shipped by the most voluminous single snapshot (the
+        #: per-snapshot figure the cost formula in docs/robustness.md uses)
+        self.doubles_per_snapshot = 0
+        self.rebind(dec)
+
+    # ------------------------------------------------------------------
+    def rebind(self, dec: Decomposition) -> None:
+        """Re-key the store to a (possibly repaired) partition.
+
+        Recovery changes the partition (shrink) or invalidates the dead
+        rank's state (respawn); either way the old checkpoints have been
+        consumed by the restart, so the store starts a fresh epoch.
+        """
+        self.dec = dec
+        self.owned: List[np.ndarray] = dec.dof_parts()
+        n = dec.n_subdomains
+        self.buddy: List[int] = []
+        for r in range(n):
+            neighbors = dec.neighbors_of(r)
+            self.buddy.append(min(neighbors) if neighbors else (r + 1) % n)
+        # rank -> (iteration, segment, factorization fingerprint)
+        self._primary: Dict[int, Tuple[int, np.ndarray, str]] = {}
+        # rank -> same payload, held on buddy[rank]
+        self._replica: Dict[int, Tuple[int, np.ndarray, str]] = {}
+
+    def due(self, it: int) -> bool:
+        """Is iteration ``it`` a snapshot point?"""
+        return it > 0 and it % self.interval == 0
+
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        comm: FaultTolerantComm,
+        it: int,
+        x: np.ndarray,
+        fingerprints: Optional[List[str]] = None,
+        basis_tail: Optional[np.ndarray] = None,
+    ) -> None:
+        """Checkpoint iterate ``x`` (and optionally the basis tail).
+
+        Each rank ships its owned segment -- plus its slice of the
+        Krylov basis tail, when given -- to its buddy through ``comm``
+        (so a scheduled death can fire mid-checkpoint) and keeps the
+        primary locally.  ``fingerprints[r]`` records what rank ``r``'s
+        local factorization looked like, letting a respawn assert that
+        the rebuilt factorization matches the checkpointed one.
+        """
+        tr = get_tracer()
+        with tr.span("ft/checkpoint") as sp:
+            shipped = 0
+            # stage, then commit: a rank death mid-checkpoint unwinds
+            # before the commit, so the store never holds a torn
+            # snapshot mixing two iterations (coordinated checkpointing)
+            new_primary: Dict[int, Tuple[int, np.ndarray, str]] = {}
+            new_replica: Dict[int, Tuple[int, np.ndarray, str]] = {}
+            for r in range(self.dec.n_subdomains):
+                seg = np.array(x[self.owned[r]])
+                payload = (
+                    seg
+                    if basis_tail is None
+                    else np.concatenate([seg, basis_tail[self.owned[r]]])
+                )
+                comm.send(r, self.buddy[r], payload, tag=CHECKPOINT_TAG)
+                received = comm.recv(self.buddy[r], r, tag=CHECKPOINT_TAG)
+                fp = fingerprints[r] if fingerprints is not None else ""
+                new_primary[r] = (it, seg, fp)
+                new_replica[r] = (it, np.array(received[: seg.size]), fp)
+                shipped += int(payload.size)
+            self._primary.update(new_primary)
+            self._replica.update(new_replica)
+            self.snapshots += 1
+            self.doubles_shipped += shipped
+            self.doubles_per_snapshot = max(self.doubles_per_snapshot, shipped)
+            sp.count("ft_checkpoint_doubles", float(shipped))
+            sp.annotate(iteration=int(it))
+            tr.count("ft_checkpoints", 1.0)
+
+    # ------------------------------------------------------------------
+    def on_failure(self, dead: List[int]) -> None:
+        """Drop every copy that lived on a now-dead rank.
+
+        The primary of a dead rank is gone; so is any *replica* whose
+        buddy was the dead rank.
+        """
+        for r in dead:
+            self._primary.pop(r, None)
+        for s, b in enumerate(self.buddy):
+            if b in dead:
+                self._replica.pop(s, None)
+
+    def restore_x(self, n: int) -> Tuple[np.ndarray, List[int], int]:
+        """Best-effort iterate from the surviving checkpoint copies.
+
+        Returns ``(x, lost_ranks, iteration)``: the reconstructed
+        global iterate (zeros where no copy survived), the ranks whose
+        segment was unrecoverable (rank *and* buddy dead -- the
+        coarse-grid interpolation must fill these), and the checkpoint
+        iteration the restored state corresponds to.
+        """
+        x = np.zeros(n)
+        lost: List[int] = []
+        it = 0
+        for r in range(self.dec.n_subdomains):
+            entry = self._primary.get(r) or self._replica.get(r)
+            if entry is None:
+                lost.append(r)
+                continue
+            it_r, seg, _fp = entry
+            x[self.owned[r]] = seg
+            it = max(it, it_r)
+        return x, lost, it
+
+    def fingerprint_of(self, rank: int) -> Optional[str]:
+        """The checkpointed factorization fingerprint of ``rank``."""
+        entry = self._primary.get(rank) or self._replica.get(rank)
+        return entry[2] if entry is not None else None
+
+    @property
+    def have_any(self) -> bool:
+        """Does any checkpoint copy exist in the current epoch?"""
+        return bool(self._primary) or bool(self._replica)
+
+    # ------------------------------------------------------------------
+    def modeled_seconds(self, layout) -> float:
+        """Modeled cost of every snapshot taken so far under ``layout``.
+
+        Each snapshot is one buddy message per rank; the slowest rank
+        pays one message of its own segment size, so per snapshot the
+        critical path is ``halo_seconds(layout, max_segment, neighbors=1)``
+        -- checkpoint replication rides a single neighbor link, unlike
+        the 6-face halo exchange.
+        """
+        from repro.runtime.pricing import halo_seconds
+
+        if self.snapshots == 0:
+            return 0.0
+        max_segment = max(
+            (d.size for d in self.owned), default=0
+        )
+        per_snapshot = halo_seconds(layout, int(max_segment), neighbors=1)
+        return float(self.snapshots) * per_snapshot

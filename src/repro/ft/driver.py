@@ -1,0 +1,637 @@
+"""The fault-tolerant solve driver: detect, repair, restart.
+
+:func:`solve_fault_tolerant` runs one :class:`~repro.api.SolverSession`
+solve with rank-loss protection.  The numerics are byte-for-byte the
+session's own (the same sequential Krylov iteration on the same global
+operator); what changes is the *communication*: every preconditioner
+application replays its halo import and coarse-residual allreduce
+through a :class:`~repro.ft.comm.FaultTolerantComm`, every Krylov
+global reduction routes its values through one fault-tolerant
+``allreduce``, and the setup phase replays the overlap import -- so a
+scheduled process death surfaces exactly where a distributed run would
+see it, as a :class:`~repro.ft.comm.RankFailedError` in the middle of
+the phase the plan names.
+
+On a failure the driver walks the rank-loss rung of the escalation
+ladder (:mod:`repro.resilience.policy`):
+
+1. drop the dead ranks' checkpoint copies
+   (:meth:`CheckpointStore.on_failure` -- buddies keep the replicas);
+2. repair the communicator (``shrink`` or ``respawn``, per
+   :class:`FaultToleranceConfig`);
+3. repair the preconditioner (merge the dead subdomain away, or
+   refactorize the dead rank in place with a fingerprint check);
+4. replay the setup exchange on the repaired communicator (a second
+   scheduled setup death can fire here);
+5. interpolated restart: reassemble the iterate from surviving
+   checkpoint copies, coarse-fill the lost segments, and re-anchor the
+   tolerance to the original initial residual
+   (:func:`repro.ft.recovery.interpolated_restart`).
+
+Bit-identity contract: a *fault-free* run through this driver (no plan,
+or a plan that never fires) produces the same iterates, the same
+residual history, and the same ``reduces``/``reduce_doubles`` counters
+as ``SolverSession.solve`` -- the FT reductions contribute
+``[v, 0, ..., 0]`` (``x + 0.0 == x`` bitwise), the FT comm masks the
+ambient tracer around its own base ops, and :class:`FtReduceCounter`
+tallies exactly what :class:`~repro.obs.tracer.TracerReduceCounter`
+would.  ``tests/ft`` pins this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dd.precision import HalfPrecisionOperator
+from repro.ft.checkpoint import CheckpointStore
+from repro.ft.comm import FaultTolerantComm, RankFailedError
+from repro.ft.plan import RankFailurePlan
+from repro.ft.recovery import (
+    _unwrap,
+    interpolated_restart,
+    local_fingerprints,
+    rank_loss_action,
+    repair_respawn,
+    repair_shrink,
+)
+from repro.obs import Tracer
+from repro.resilience.policy import RecoveryAction
+
+__all__ = [
+    "STRATEGIES",
+    "FaultToleranceConfig",
+    "FtOperator",
+    "FtReport",
+    "solve_fault_tolerant",
+]
+
+#: valid rank-loss recovery strategies
+STRATEGIES = ("shrink", "respawn")
+
+#: message tag of the apply-phase halo import replay
+HALO_TAG = 4
+#: message tag of the setup-phase overlap import replay
+SETUP_TAG = 5
+
+
+@dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Rank-loss protection knobs (``SolverSession(fault_tolerance=)``).
+
+    Attributes
+    ----------
+    plan:
+        Scheduled deaths (:class:`~repro.ft.plan.RankFailurePlan`);
+        None runs fully protected but fault-free.
+    strategy:
+        ``"shrink"`` merges a dead subdomain into a neighbor and
+        continues with fewer ranks; ``"respawn"`` replaces the dead
+        process and rebuilds its state from checkpoint.
+    checkpoint_interval:
+        Snapshot cadence in Krylov iterations (GMRES snapshots at the
+        first cycle boundary past the cadence).
+    protect:
+        False is the control arm: no recovery --
+        :class:`~repro.ft.comm.RankFailedError` propagates to the
+        caller, demonstrating what an unguarded run does.
+    max_failures:
+        Recovery budget; one more failure than this raises.
+    """
+
+    plan: Optional[RankFailurePlan] = None
+    strategy: str = "shrink"
+    checkpoint_interval: int = 5
+    protect: bool = True
+    max_failures: int = 4
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown rank-loss strategy {self.strategy!r}; valid "
+                "values: " + ", ".join(repr(s) for s in STRATEGIES)
+            )
+        if self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got "
+                f"{self.checkpoint_interval}"
+            )
+        if self.max_failures < 0:
+            raise ValueError(
+                f"max_failures must be >= 0, got {self.max_failures}"
+            )
+
+
+class FtReduceCounter:
+    """A reduction counter that routes values through the FT comm.
+
+    Drop-in for :class:`~repro.obs.tracer.TracerReduceCounter`: same
+    tallies onto the tracer's active span, same returned values.  The
+    routing is bit-identical -- rank 0 contributes the values, every
+    other rank zeros, and IEEE-754 guarantees ``v + 0.0 == v`` bitwise
+    for every finite (and NaN) ``v`` -- but the allreduce now *counts
+    as a collective* on the fault-tolerant communicator, so a death
+    scheduled in the ``reduce`` phase fires here.
+    """
+
+    __slots__ = ("tracer", "comm", "count", "doubles")
+
+    def __init__(self, tracer, comm: FaultTolerantComm) -> None:
+        self.tracer = tracer
+        self.comm = comm
+        self.count = 0
+        self.doubles = 0
+
+    def allreduce(self, values: np.ndarray) -> np.ndarray:
+        values = np.atleast_1d(np.asarray(values))
+        comm = self.comm
+        comm.set_phase("reduce")
+        contributions = [
+            values if r == 0 else np.zeros_like(values, dtype=np.float64)
+            for r in range(comm.size)
+        ]
+        out = comm.allreduce(contributions)
+        self.count += 1
+        self.doubles += int(values.size)
+        t = self.tracer
+        t.count("reduces", 1.0)
+        t.count("reduce_doubles", float(values.size))
+        return out
+
+    def reset(self) -> None:
+        self.count = 0
+        self.doubles = 0
+
+
+class FtTracer(Tracer):
+    """Session tracer whose Krylov reductions go through the FT comm.
+
+    The Krylov solvers obtain their reduction counter from the ambient
+    tracer (``tr.reduce_counter()``); overriding that hook is how the
+    driver threads the fault-tolerant communicator under the unchanged
+    solver code.
+    """
+
+    def __init__(self, ft_comm: Optional[FaultTolerantComm] = None) -> None:
+        super().__init__()
+        self.ft_comm = ft_comm
+
+    def reduce_counter(self):
+        if self.ft_comm is None:  # before the comm exists: plain counting
+            return super().reduce_counter()
+        return FtReduceCounter(self, self.ft_comm)
+
+
+class FtOperator:
+    """Preconditioner wrapper replaying per-apply FT communication.
+
+    The wrapped operator's numerics are untouched (``apply`` delegates
+    to it, sequentially, bit-identically); what this wrapper adds is
+    the *communication shape* of one distributed application, moved
+    through the fault-tolerant communicator so scheduled deaths fire
+    mid-apply:
+
+    * one aggregated halo-import message per rank with a nonempty
+      overlap ghost region (tag :data:`HALO_TAG`), and
+    * one coarse-residual allreduce when a coarse space exists.
+
+    Cost-model calls (``rank_apply_profile``, ``halo_doubles``, ...)
+    and attribute lookups delegate to the wrapped operator, so
+    ``SessionResult.timings`` prices an FT run like a plain one.
+    """
+
+    def __init__(self, inner, comm: FaultTolerantComm) -> None:
+        self.inner = inner
+        self.comm = comm
+        self._rebuild_plans()
+
+    def _rebuild_plans(self) -> None:
+        gdsw = _unwrap(self.inner)
+        dec = gdsw.dec
+        owner = dec.node_owner
+        #: per rank: (peer rank shipping the aggregated halo, ghost dofs)
+        self._halo = []
+        for r, ns in enumerate(gdsw.one_level.node_sets):
+            ghost_nodes = ns[owner[ns] != r]
+            dofs = dec.dofs_of_nodes(ghost_nodes)
+            neighbors = dec.neighbors_of(r)
+            peer = neighbors[0] if neighbors else None
+            self._halo.append((peer, dofs))
+        self._n_coarse = int(gdsw.n_coarse)
+        self._has_coarse = gdsw.phi is not None and self._n_coarse > 0
+
+    def rebind(self, inner) -> None:
+        """Point at a repaired operator and re-derive the comm plans."""
+        self.inner = inner
+        self._rebuild_plans()
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        comm = self.comm
+        comm.set_phase("apply")
+        for r, (peer, dofs) in enumerate(self._halo):
+            if peer is None or dofs.size == 0:
+                continue
+            comm.send(peer, r, v[dofs], tag=HALO_TAG)
+            comm.recv(r, peer, tag=HALO_TAG)
+        y = self.inner.apply(v)
+        if self._has_coarse:
+            # the coarse residual enters the replicated coarse solve
+            # through one allreduce of n_coarse doubles
+            contributions = [
+                np.zeros(self._n_coarse) for _ in range(comm.size)
+            ]
+            comm.allreduce(contributions)
+        return y
+
+    def __getattr__(self, name):
+        # cost-model interface (rank_*_profile, halo_doubles, n_coarse,
+        # dec, phi, coarse, ...) delegates to the wrapped operator
+        return getattr(self.inner, name)
+
+
+class _RecordingGuard:
+    """Per-iteration recorder (no intervention), chainable."""
+
+    def __init__(self, inner=None) -> None:
+        self.inner = inner
+        self.iters = 0
+        self.history: List[float] = []
+
+    def on_residual(self, it: int, rn: float):
+        self.iters = it
+        self.history.append(float(rn))
+        if self.inner is not None:
+            return self.inner.on_residual(it, rn)
+        return None
+
+
+class _CheckpointHook:
+    """CG callback / GMRES observer taking snapshots on cadence.
+
+    Snapshot points: CG checkpoints every ``interval`` iterations via
+    the solver callback; GMRES checkpoints at the first cycle boundary
+    at least ``interval`` iterations past the previous snapshot (the
+    iterate only materializes at cycle ends), shipping the last basis
+    vector alongside the owned solution segments.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        comm: FaultTolerantComm,
+        operator,
+        guard: _RecordingGuard,
+        base_iters: int = 0,
+        inner_observer=None,
+    ) -> None:
+        self.store = store
+        self.comm = comm
+        self.operator = operator
+        self.guard = guard
+        self.base_iters = base_iters
+        self.inner_observer = inner_observer
+        self._last_snapshot = base_iters
+        self._fingerprints: Optional[List[str]] = None
+
+    def fingerprints(self) -> List[str]:
+        if self._fingerprints is None:
+            self._fingerprints = local_fingerprints(self.operator)
+        return self._fingerprints
+
+    def _maybe_snapshot(self, iters: int, x, basis_tail=None) -> None:
+        if iters - self._last_snapshot < self.store.interval:
+            return
+        if not np.all(np.isfinite(x)):
+            return
+        self.store.snapshot(
+            self.comm, iters, x,
+            fingerprints=self.fingerprints(),
+            basis_tail=basis_tail,
+        )
+        self._last_snapshot = iters
+
+    # -- CG callback interface -----------------------------------------
+    def cg_callback(self, it: int, x: np.ndarray) -> None:
+        self._maybe_snapshot(self.base_iters + it, x)
+
+    # -- GMRES observer interface --------------------------------------
+    def on_cycle(self, basis, x, estimate, true_norm=None) -> None:
+        if self.inner_observer is not None:
+            self.inner_observer.on_cycle(
+                basis=basis, x=x, estimate=estimate, true_norm=true_norm
+            )
+        tail = basis[-1] if len(basis) else None
+        self._maybe_snapshot(self.base_iters + self.guard.iters, x, tail)
+
+
+@dataclass
+class FtReport:
+    """What the fault-tolerance layer saw and did during one solve.
+
+    Attached to :class:`~repro.api.SessionResult` as ``result.ft``.
+    """
+
+    strategy: str
+    #: every rank death, as recorded by the communicator
+    failures: List[object] = field(default_factory=list)
+    recoveries: int = 0
+    checkpoints: int = 0
+    checkpoint_doubles: int = 0
+    #: segments no checkpoint copy survived for (coarse-filled), per
+    #: recovery
+    lost_segments: List[List[int]] = field(default_factory=list)
+    #: residual norm at each interpolated restart
+    restart_residuals: List[float] = field(default_factory=list)
+    store: Optional[CheckpointStore] = field(default=None, repr=False)
+
+    def modeled_checkpoint_seconds(self, layout) -> float:
+        """Modeled replication cost of every snapshot under ``layout``."""
+        return self.store.modeled_seconds(layout) if self.store else 0.0
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        lines = [
+            f"fault tolerance ({self.strategy}): "
+            f"{len(self.failures)} failure(s), {self.recoveries} "
+            f"recovery(ies), {self.checkpoints} checkpoint(s) "
+            f"({self.checkpoint_doubles} doubles replicated)"
+        ]
+        for f in self.failures:
+            lines.append(f"  - {f.detail}")
+        for i, (lost, rn) in enumerate(
+            zip(self.lost_segments, self.restart_residuals)
+        ):
+            lines.append(
+                f"  restart {i + 1}: residual {rn:.3e}, "
+                f"coarse-filled segments {lost or 'none'}"
+            )
+        return "\n".join(lines)
+
+
+def _setup_exchange(ft_op: FtOperator, comm: FaultTolerantComm) -> None:
+    """Replay the setup-phase overlap import through the FT comm.
+
+    One aggregated message per rank with a ghost region (tag
+    :data:`SETUP_TAG`) plus a closing barrier -- the communication of
+    building the overlapping subdomain matrices.  A death scheduled in
+    the ``setup`` phase fires here, *after* the sequential build, so a
+    repairable preconditioner exists when the error unwinds (exactly
+    the ULFM situation: survivors hold their state, the dead rank's
+    contribution is lost).
+    """
+    from repro.obs import get_tracer
+
+    comm.set_phase("setup")
+    with get_tracer().span("ft/setup_exchange"):
+        for r, (peer, dofs) in enumerate(ft_op._halo):
+            if peer is None or dofs.size == 0:
+                continue
+            comm.send(peer, r, np.zeros(min(dofs.size, 1)), tag=SETUP_TAG)
+            comm.recv(r, peer, tag=SETUP_TAG)
+        comm.barrier()
+
+
+def _rewrap(template, repaired):
+    """Re-apply the session's precision wrapper to a repaired operator."""
+    if isinstance(template, HalfPrecisionOperator):
+        return HalfPrecisionOperator(repaired)
+    return repaired
+
+
+def _recover(
+    err: RankFailedError,
+    ft: FaultToleranceConfig,
+    operator,
+    ft_op: FtOperator,
+    comm: FaultTolerantComm,
+    store: CheckpointStore,
+    a,
+    b: np.ndarray,
+    target_abs: float,
+    tracer: Tracer,
+    actions: List[RecoveryAction],
+    detections: List[str],
+    report: FtReport,
+):
+    """One full pass of the rank-loss rung; returns the repaired state.
+
+    Returns ``(operator, x0, rtol_eff)``.  May itself raise
+    :class:`RankFailedError` if another scheduled death fires during
+    the repair's setup exchange (the caller loops).
+    """
+    dead = list(err.dead_ranks)
+    detections.append(
+        f"rank loss detected: {err.op} during {err.phase} raised "
+        f"MPI_ERR_PROC_FAILED for rank(s) {dead}"
+    )
+    with tracer.span("ft/recovery") as sp:
+        sp.annotate(
+            dead_ranks=str(dead), phase=err.phase, strategy=ft.strategy
+        )
+        # 1. the dead ranks' checkpoint copies died with them
+        store.on_failure(dead)
+        # 2. + 3. repair communicator and preconditioner
+        if ft.strategy == "shrink":
+            comm.shrink()
+            repaired = repair_shrink(operator, dead)
+            operator = _rewrap(operator, repaired)
+            detail = (
+                f"rank(s) {dead} lost during {err.phase}; shrank to "
+                f"{comm.size} ranks, merged dead subdomain(s) into "
+                f"neighbors ({_unwrap(operator).dec.n_subdomains} "
+                f"subdomains remain)"
+            )
+        else:
+            comm.respawn()
+            lines = repair_respawn(operator, dead, store)
+            detail = (
+                f"rank(s) {dead} lost during {err.phase}; respawned "
+                f"replacement(s): " + "; ".join(lines)
+            )
+        actions.append(rank_loss_action(dead, ft.strategy, detail))
+        ft_op.rebind(operator)
+        # 4. the repair's own communication (can re-fail)
+        _setup_exchange(ft_op, comm)
+        # 5. interpolated restart from the surviving checkpoint copies
+        x0, rtol_eff, residual_now, lost = interpolated_restart(
+            operator, a, b, store, target_abs
+        )
+        actions.append(
+            RecoveryAction(
+                "interpolated_restart",
+                -1,
+                f"restarted from surviving checkpoint copies "
+                f"(coarse-filled segments: {lost or 'none'}); restart "
+                f"residual {residual_now:.3e}, tolerance re-anchored to "
+                f"rtol_eff={rtol_eff:.3e}",
+            )
+        )
+        report.lost_segments.append(lost)
+        report.restart_residuals.append(residual_now)
+        # fresh checkpoint epoch on the repaired partition
+        store.rebind(_unwrap(operator).dec)
+    return operator, x0, rtol_eff
+
+
+def solve_fault_tolerant(session, ft: FaultToleranceConfig):
+    """Run ``session``'s solve under rank-loss protection.
+
+    Returns the same :class:`~repro.api.SessionResult` shape as
+    ``SolverSession.solve``, with ``result.ft`` holding the
+    :class:`FtReport`, ``result.health`` the rank-loss actions, and
+    ``result.status`` reading ``recovered`` when the solve converged
+    after at least one repair.
+    """
+    from repro.api import SessionResult
+    from repro.krylov import SolveStatus, cg, gmres, pipelined_cg
+    from repro.obs import use_tracer
+    from repro.resilience.engine import HealthReport
+
+    kry = session.krylov
+    problem = session.problem
+    a, b = problem.a, problem.b
+    tracer = FtTracer()
+    actions: List[RecoveryAction] = []
+    detections: List[str] = []
+    report = FtReport(strategy=ft.strategy)
+
+    with use_tracer(tracer):
+        with tracer.span("setup") as sp:
+            sp.annotate(
+                config=session.config.describe(),
+                partition=str(session.partition),
+                fault_tolerance=ft.strategy,
+            )
+            operator = session.build_preconditioner()
+        inner0 = _unwrap(operator)
+        comm = FaultTolerantComm(inner0.dec.n_subdomains, plan=ft.plan)
+        tracer.ft_comm = comm
+        ft_op = FtOperator(operator, comm)
+        store = CheckpointStore(inner0.dec, interval=ft.checkpoint_interval)
+        # the convergence target stays anchored to the fault-free
+        # initial residual (x0 = 0) across every recovery restart
+        target_abs = kry.rtol * float(np.linalg.norm(b))
+
+        pending: Optional[RankFailedError] = None
+        try:
+            _setup_exchange(ft_op, comm)
+        except RankFailedError as exc:
+            if not ft.protect:
+                raise
+            pending = exc
+
+        x0: Optional[np.ndarray] = None
+        rtol_eff = kry.rtol
+        iterations = 0
+        residual_norms: List[float] = []
+        res = None
+        while True:
+            if pending is not None:
+                if comm.ft_failures > ft.max_failures:
+                    raise pending
+                exc, pending = pending, None
+                try:
+                    operator, x0, rtol_eff = _recover(
+                        exc, ft, operator, ft_op, comm, store, a, b,
+                        target_abs, tracer, actions, detections, report,
+                    )
+                except RankFailedError as exc2:
+                    if not ft.protect:
+                        raise
+                    pending = exc2
+                    continue
+            remaining = kry.maxiter - iterations
+            if remaining < 1:
+                break
+            guard = _RecordingGuard()
+            hook = _CheckpointHook(
+                store, comm, operator, guard, base_iters=iterations
+            )
+            try:
+                with tracer.span("krylov") as sp:
+                    sp.annotate(method=kry.method)
+                    if kry.method == "gmres":
+                        res = gmres(
+                            a, b, preconditioner=ft_op, x0=x0,
+                            rtol=rtol_eff, restart=kry.restart,
+                            maxiter=remaining, variant=kry.variant,
+                            observer=hook, guard=guard,
+                        )
+                    elif kry.method == "cg":
+                        res = cg(
+                            a, b, preconditioner=ft_op, x0=x0,
+                            rtol=rtol_eff, maxiter=remaining,
+                            callback=hook.cg_callback, guard=guard,
+                        )
+                    else:
+                        # pipelined_cg exposes no iterate callback; its
+                        # recovery falls back to the coarse-interpolated
+                        # restart alone
+                        res = pipelined_cg(
+                            a, b, preconditioner=ft_op, x0=x0,
+                            rtol=rtol_eff, maxiter=remaining, guard=guard,
+                        )
+            except RankFailedError as exc:
+                if not ft.protect:
+                    raise
+                # the failed attempt's completed iterations still count
+                iterations += guard.iters
+                residual_norms.extend(guard.history)
+                pending = exc
+                continue
+            iterations += res.iterations
+            residual_norms.extend(res.residual_norms)
+            break
+    tracer.finish()
+
+    if res is None:  # maxiter exhausted before any attempt completed
+        x = x0 if x0 is not None else np.zeros(a.n_rows)
+        converged = False
+        status = SolveStatus.MAXITER
+    else:
+        x = res.x
+        converged = bool(res.converged)
+        status = getattr(res, "status", SolveStatus.MAXITER)
+    recoveries = comm.ft_recoveries
+    if converged and recoveries:
+        status = SolveStatus.RECOVERED
+
+    report.failures = list(comm.failures)
+    report.recoveries = recoveries
+    report.checkpoints = store.snapshots
+    report.checkpoint_doubles = store.doubles_shipped
+    report.store = store
+
+    health = HealthReport(
+        status=str(status),
+        faults=list(comm.failures),
+        detections=detections,
+        actions=actions,
+        restarts=recoveries,
+        refactorizations=sum(
+            1 for act in actions if act.kind == "rank_respawn"
+        ),
+    )
+
+    relres = float(
+        np.linalg.norm(a.matvec(x) - b) / max(np.linalg.norm(b), 1e-300)
+    )
+    inner = _unwrap(operator)
+    return SessionResult(
+        x=x,
+        iterations=iterations,
+        converged=converged,
+        residual_norms=residual_norms,
+        reduces=tracer.reduces,
+        reduce_doubles=tracer.reduce_doubles,
+        final_relres=relres,
+        n_coarse=inner.n_coarse,
+        n_ranks=inner.dec.n_subdomains,
+        precond=ft_op,
+        trace=tracer.root,
+        status=status,
+        health=health,
+        ft=report,
+    )

@@ -1,0 +1,136 @@
+"""Seeded rank-failure plans: which rank dies, when.
+
+A :class:`RankFailurePlan` is the rank-loss analogue of
+:class:`repro.resilience.inject.FaultPlan`: a deterministic, seeded
+description of the process deaths a chaos run injects.  Failures are
+keyed by *solver phase* (``setup`` / ``apply`` / ``reduce``) and by the
+index of the communication operation within that phase, so a test can
+kill rank 2 "during the 30th apply-phase message" and get exactly the
+same death on every run -- the property the CI ``chaos-ft`` matrix
+depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+__all__ = ["PHASES", "RankFailure", "RankFailurePlan"]
+
+#: the solver phases a failure can be scheduled in:
+#: ``setup`` -- during preconditioner construction (overlap import);
+#: ``apply`` -- during a preconditioner application (halo exchange /
+#: coarse allreduce); ``reduce`` -- during a Krylov global reduction.
+PHASES = ("setup", "apply", "reduce")
+
+
+@dataclass(frozen=True)
+class RankFailure:
+    """One scheduled process death.
+
+    Attributes
+    ----------
+    rank:
+        The rank that dies (in the communicator's numbering at the time
+        the failure fires).
+    phase:
+        One of :data:`PHASES`; the failure fires during an operation of
+        this phase.
+    op_index:
+        Zero-based index of the triggering operation *within the phase*
+        (counted over the whole run, across restarts): ``op_index=0``
+        kills at the phase's very first communication op.
+    """
+
+    rank: int
+    phase: str
+    op_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise ValueError(
+                f"unknown failure phase {self.phase!r}; valid phases: "
+                + ", ".join(repr(p) for p in PHASES)
+            )
+        if self.op_index < 0:
+            raise ValueError(f"op_index must be >= 0, got {self.op_index}")
+
+
+class RankFailurePlan:
+    """A deterministic set of scheduled rank deaths.
+
+    Parameters
+    ----------
+    failures:
+        One :class:`RankFailure` or an iterable of them.
+    seed:
+        Recorded for provenance (the convenience constructors derive
+        their random choices from it); the plan itself is fully
+        deterministic once built.
+    """
+
+    def __init__(
+        self,
+        failures: Union[RankFailure, Iterable[RankFailure]],
+        seed: int = 0,
+    ) -> None:
+        if isinstance(failures, RankFailure):
+            failures = [failures]
+        self.failures: List[RankFailure] = list(failures)
+        self.seed = int(seed)
+        self._fired: set = set()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(
+        cls, rank: int, phase: str, op_index: int = 0, seed: int = 0
+    ) -> "RankFailurePlan":
+        """Plan killing exactly one rank at one phase op."""
+        return cls(RankFailure(rank, phase, op_index), seed=seed)
+
+    @classmethod
+    def random_failures(
+        cls,
+        n_ranks: int,
+        count: int = 1,
+        seed: int = 0,
+        phases: Sequence[str] = PHASES,
+        max_op: int = 60,
+    ) -> "RankFailurePlan":
+        """A seeded random plan of ``count`` deaths (for soak tests)."""
+        rng = np.random.default_rng(seed)
+        failures = [
+            RankFailure(
+                rank=int(rng.integers(n_ranks)),
+                phase=str(phases[int(rng.integers(len(phases)))]),
+                op_index=int(rng.integers(max_op)),
+            )
+            for _ in range(count)
+        ]
+        return cls(failures, seed=seed)
+
+    # ------------------------------------------------------------------
+    def due(self, phase: str, op_index: int) -> List[int]:
+        """Ranks whose death triggers at this phase op (fires once each)."""
+        out: List[int] = []
+        for i, f in enumerate(self.failures):
+            if i in self._fired:
+                continue
+            if f.phase == phase and f.op_index == op_index:
+                self._fired.add(i)
+                out.append(f.rank)
+        return out
+
+    @property
+    def pending(self) -> int:
+        """Scheduled deaths that have not fired yet."""
+        return len(self.failures) - len(self._fired)
+
+    def describe(self) -> str:
+        """One line per scheduled failure."""
+        return "; ".join(
+            f"rank {f.rank} dies at {f.phase} op {f.op_index}"
+            for f in self.failures
+        ) or "no failures scheduled"

@@ -99,8 +99,13 @@ def _run_cell(problem, kind: str, resilient: bool, seed: int, maxiter: int):
 
 
 def run_matrix(which: str = "all", seed: int = 7, maxiter: int = 1000,
-               control_maxiter: int = 150, out=sys.stdout) -> int:
-    """Run the full fault matrix; returns the number of bad cells."""
+               control_maxiter: int = 150, out=sys.stdout,
+               records=None) -> int:
+    """Run the full fault matrix; returns the number of bad cells.
+
+    When ``records`` is a list, one dict per cell is appended to it
+    (the ``--json`` machine-readable output).
+    """
     from repro.resilience.inject import FAULT_KINDS
 
     bad = 0
@@ -117,6 +122,15 @@ def run_matrix(which: str = "all", seed: int = 7, maxiter: int = 1000,
                     f"[{mark}] {pname:<10} {kind:<20} {arm:<9} {detail}",
                     file=out,
                 )
+                if records is not None:
+                    records.append({
+                        "problem": pname,
+                        "fault": kind,
+                        "arm": arm,
+                        "ok": bool(ok),
+                        "detail": detail,
+                        "seed": int(seed),
+                    })
                 bad += 0 if ok else 1
     return bad
 
@@ -133,12 +147,27 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--seed", type=int, default=7, help="fault-plan seed (default: 7)"
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the matrix as JSON on stdout (human lines go to stderr)",
+    )
     args = parser.parse_args(argv)
-    bad = run_matrix(which=args.problem, seed=args.seed)
+    records = [] if args.json else None
+    out = sys.stderr if args.json else sys.stdout
+    bad = run_matrix(which=args.problem, seed=args.seed, out=out,
+                     records=records)
+    if args.json:
+        import json
+
+        json.dump(
+            {"seed": args.seed, "bad": bad, "cells": records},
+            sys.stdout, indent=2,
+        )
+        print()
     if bad:
         print(f"{bad} chaos cell(s) misbehaved", file=sys.stderr)
         return 1
-    print("chaos matrix clean")
+    print("chaos matrix clean", file=out)
     return 0
 
 

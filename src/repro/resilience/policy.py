@@ -36,7 +36,9 @@ from repro.resilience.detect import DivergenceError, PivotBreakdownError
 
 __all__ = ["ACTION_KINDS", "RecoveryAction", "LadderState", "RecoveryPolicy"]
 
-#: every action kind the resilience subsystem can record
+#: every action kind the resilience subsystem can record; the final
+#: three are the rank-loss rung (process death is beyond any local
+#: remedy -- the ladder's last resort, handled by :mod:`repro.ft`)
 ACTION_KINDS = (
     "boost_damping",
     "diagonal_shift",
@@ -47,6 +49,9 @@ ACTION_KINDS = (
     "drop_local_solve",
     "promote_precision",
     "krylov_restart",
+    "rank_shrink",
+    "rank_respawn",
+    "interpolated_restart",
 )
 
 #: the fallback chain (rung above each solver kind)
@@ -148,6 +153,31 @@ class RecoveryPolicy:
     def initial_state(self, rank: int, spec: LocalSolverSpec) -> LadderState:
         """Fresh ladder state for one subdomain."""
         return LadderState(rank=rank, spec=spec)
+
+    def rank_loss_rung(
+        self, dead_ranks, strategy: str = "shrink"
+    ) -> RecoveryAction:
+        """The ladder's terminal rung: the process itself is gone.
+
+        Every lower rung assumes the rank is still alive to retry on;
+        a rank loss skips straight past them.  ``strategy`` selects the
+        :mod:`repro.ft` repair (``"shrink"`` merges the dead subdomain
+        into a neighbor, ``"respawn"`` rebuilds it from checkpoint) and
+        the returned action records the decision for the health report.
+        """
+        if strategy not in ("shrink", "respawn"):
+            raise ValueError(
+                f"unknown rank-loss strategy {strategy!r}; valid: "
+                "'shrink', 'respawn'"
+            )
+        dead = [int(r) for r in dead_ranks]
+        kind = "rank_shrink" if strategy == "shrink" else "rank_respawn"
+        return RecoveryAction(
+            kind,
+            dead[0] if dead else -1,
+            f"rank(s) {dead} lost (beyond local remedies); repairing the "
+            f"communicator and preconditioner by {strategy}",
+        )
 
     def escalate(
         self, state: LadderState, error: BaseException

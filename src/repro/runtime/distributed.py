@@ -32,7 +32,13 @@ from repro.runtime.simmpi import SimComm
 from repro.sparse.blocks import extract_submatrix
 from repro.sparse.csr import CsrMatrix
 
-__all__ = ["HaloPlan", "DistributedCsr", "DistributedVector", "distributed_cg"]
+__all__ = [
+    "HaloPlan",
+    "DistributedCsr",
+    "DistributedVector",
+    "multi_dot",
+    "distributed_cg",
+]
 
 
 @dataclass
@@ -96,6 +102,35 @@ class DistributedVector:
             for a, b in zip(self.segments, other.segments)
         ]
         return float(comm.allreduce(parts)[0])
+
+
+def multi_dot(pairs, comm: SimComm) -> Tuple[float, ...]:
+    """Several global inner products fused into ONE allreduce.
+
+    ``pairs`` is a sequence of ``(x, y)`` :class:`DistributedVector`
+    pairs; the per-rank partials of every dot are stacked into one
+    contribution array, so ``k`` dots cost one reduction of ``k``
+    doubles instead of ``k`` latency-bound reductions of one double
+    each (the same batching the single-reduce GMRES applies to its
+    orthogonalization coefficients).
+
+    Bit-identity: each rank computes exactly the partial ``x_r @ y_r``
+    it would contribute to :meth:`DistributedVector.dot`, and
+    :meth:`SimComm.allreduce` sums the stacked contributions
+    elementwise in the same rank order ``np.sum`` uses for the
+    single-dot case -- so every fused result equals its unfused
+    counterpart bit for bit (pinned by
+    ``tests/runtime/test_distributed.py``).
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return ()
+    contribs = [
+        np.array([x.segments[r] @ y.segments[r] for x, y in pairs])
+        for r in range(comm.size)
+    ]
+    out = comm.allreduce(contribs)
+    return tuple(float(v) for v in out)
 
 
 class DistributedCsr:
@@ -207,8 +242,11 @@ def distributed_cg(
     r = b.copy()
     z = preconditioner(r, comm) if preconditioner else r.copy()
     p = z.copy()
-    rz = r.dot(z, comm)
-    r0 = np.sqrt(r.dot(r, comm))
+    # both dots are available at this point, so they share one fused
+    # allreduce (bit-identical to two separate reductions; the verify
+    # diff accounts for the one saved collective)
+    rz, r0sq = multi_dot([(r, z), (r, r)], comm)
+    r0 = np.sqrt(r0sq)
     if r0 == 0.0:
         return x, 0, True
     it = 0

@@ -64,20 +64,48 @@ class SimComm:
     bytes_sent: int = 0
     allreduces: int = 0
     reduce_doubles: int = 0
+    barriers: int = 0
     dropped: int = 0
     fault_plan: Optional[Any] = None
     _queues: Dict[Tuple[int, int, int], Deque[Any]] = field(default_factory=dict)
     _channel_doubles: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
-    def _check_rank(self, rank: int) -> None:
+    def _ops_summary(self) -> str:
+        """The operation counters, formatted for error diagnostics."""
+        return (
+            f"ops so far: {self.sends} sends, {self.recvs} recvs, "
+            f"{self.allreduces} allreduces, {self.barriers} barriers, "
+            f"{self.dropped} dropped, {self.bytes_sent} bytes sent"
+        )
+
+    def _check_rank(
+        self, rank: int, op: str = "", src: int = -1, dst: int = -1, tag: int = 0
+    ) -> None:
         if not (0 <= rank < self.size):
-            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+            where = (
+                f" in {op} on channel (src={src}, dst={dst}, tag={tag})"
+                if op
+                else ""
+            )
+            raise ValueError(
+                f"rank {rank} out of range [0, {self.size}){where}; "
+                + self._pending_summary()
+                + "; "
+                + self._ops_summary()
+            )
 
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, payload: Any, tag: int = 0) -> None:
-        """Queue a message from ``src`` to ``dst``."""
-        self._check_rank(src)
-        self._check_rank(dst)
+        """Queue a message from ``src`` to ``dst``.
+
+        An out-of-range source or destination raises the same
+        channel-naming diagnostic :meth:`recv` produces for an empty
+        channel (naming the offending ``(src, dst, tag)`` triple and the
+        operation counters) rather than surfacing later as an opaque
+        index error when the queue key is consumed.
+        """
+        self._check_rank(src, op="send", src=src, dst=dst, tag=tag)
+        self._check_rank(dst, op="send", src=src, dst=dst, tag=tag)
         if self.fault_plan is not None:
             if self.fault_plan.should_drop(src, dst, tag):
                 self.dropped += 1
@@ -100,8 +128,8 @@ class SimComm:
 
     def recv(self, dst: int, src: int, tag: int = 0) -> Any:
         """Pop the next message from ``src`` to ``dst`` (FIFO per channel)."""
-        self._check_rank(src)
-        self._check_rank(dst)
+        self._check_rank(src, op="recv", src=src, dst=dst, tag=tag)
+        self._check_rank(dst, op="recv", src=src, dst=dst, tag=tag)
         q = self._queues.get((src, dst, tag))
         if not q:
             raise RuntimeError(
@@ -109,9 +137,8 @@ class SimComm:
                 f"(tag {tag}) that was never sent; channel "
                 f"(src={src}, dst={dst}, tag={tag}) is empty; "
                 + self._pending_summary()
-                + f"; ops so far: {self.sends} sends, {self.recvs} recvs, "
-                f"{self.allreduces} allreduces, {self.dropped} dropped, "
-                f"{self.bytes_sent} bytes sent"
+                + "; "
+                + self._ops_summary()
             )
         self.recvs += 1
         return q.popleft()
@@ -169,8 +196,12 @@ class SimComm:
     def barrier(self) -> None:
         """A barrier is a no-op in the sequential simulator (but asserts
         that no messages are left in flight, the common bug a real
-        barrier would expose as a hang)."""
+        barrier would expose as a hang).  Counted (``barriers`` and the
+        tracer's ``barriers`` key) so the cost audit sees every
+        collective, not just the reductions."""
         if self.pending():
             raise RuntimeError(
                 f"barrier with {self.pending()} undelivered messages"
             )
+        self.barriers += 1
+        get_tracer().count("barriers", 1.0)

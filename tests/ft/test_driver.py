@@ -1,0 +1,183 @@
+"""End-to-end fault-tolerant solves: the kill matrix, bit-identity,
+the control arm, and the checkpoint-overhead budget."""
+
+import numpy as np
+import pytest
+
+from repro.api import KrylovConfig, SolverSession
+from repro.fem import elasticity_3d, laplace_3d
+from repro.ft import (
+    FaultToleranceConfig,
+    RankFailedError,
+    RankFailure,
+    RankFailurePlan,
+)
+
+RTOL = 1e-7
+KILL_OPS = {"setup": 2, "apply": 30, "reduce": 10}
+
+
+@pytest.fixture(scope="module")
+def laplace():
+    return laplace_3d(6)
+
+
+@pytest.fixture(scope="module")
+def elasticity049():
+    return elasticity_3d(4, poisson_ratio=0.49)
+
+
+@pytest.fixture(scope="module")
+def laplace_baseline(laplace):
+    return SolverSession(laplace, partition=(2, 2, 1)).solve()
+
+
+@pytest.fixture(scope="module")
+def elasticity_baseline(elasticity049):
+    return SolverSession(elasticity049, partition=(2, 2, 1)).solve()
+
+
+def _ft_solve(problem, phase, strategy, rank=1, **kw):
+    plan = RankFailurePlan.single(rank, phase, KILL_OPS[phase])
+    cfg = FaultToleranceConfig(plan=plan, strategy=strategy, **kw)
+    return SolverSession(
+        problem, partition=(2, 2, 1), fault_tolerance=cfg
+    ).solve()
+
+
+class TestKillMatrixLaplace:
+    @pytest.mark.parametrize("phase", ("setup", "apply", "reduce"))
+    @pytest.mark.parametrize("strategy", ("shrink", "respawn"))
+    def test_recovers_to_tolerance(
+        self, laplace, laplace_baseline, phase, strategy
+    ):
+        res = _ft_solve(laplace, phase, strategy)
+        assert res.converged
+        assert str(res.status) == "recovered"
+        assert res.final_relres <= RTOL * 1.01
+        assert res.iterations <= 2 * laplace_baseline.iterations
+        assert res.ft.recoveries == 1
+        assert len(res.ft.failures) == 1
+        kinds = [a.kind for a in res.health.actions]
+        assert f"rank_{strategy}" in kinds
+        assert "interpolated_restart" in kinds
+
+    def test_shrink_drops_a_rank(self, laplace, laplace_baseline):
+        res = _ft_solve(laplace, "apply", "shrink")
+        assert res.n_ranks == laplace_baseline.n_ranks - 1
+
+    def test_respawn_keeps_rank_count(self, laplace, laplace_baseline):
+        res = _ft_solve(laplace, "apply", "respawn")
+        assert res.n_ranks == laplace_baseline.n_ranks
+
+
+class TestKillMatrixElasticity:
+    @pytest.mark.parametrize("phase", ("setup", "apply", "reduce"))
+    @pytest.mark.parametrize("strategy", ("shrink", "respawn"))
+    def test_nearly_incompressible_recovers(
+        self, elasticity049, elasticity_baseline, phase, strategy
+    ):
+        res = _ft_solve(elasticity049, phase, strategy)
+        assert res.converged
+        assert res.final_relres <= RTOL * 1.01
+        assert res.iterations <= 2 * elasticity_baseline.iterations
+        assert res.ft.recoveries == 1
+
+
+class TestControlArm:
+    def test_unprotected_run_dies(self, laplace):
+        with pytest.raises(RankFailedError) as ei:
+            _ft_solve(laplace, "apply", "shrink", protect=False)
+        assert "MPI_ERR_PROC_FAILED" in str(ei.value)
+
+    def test_failure_budget_enforced(self, laplace):
+        plan = RankFailurePlan(
+            [RankFailure(r, "reduce", 2 * r) for r in (1, 2, 3)]
+        )
+        cfg = FaultToleranceConfig(plan=plan, max_failures=1)
+        with pytest.raises(RankFailedError):
+            SolverSession(
+                laplace, partition=(2, 2, 1), fault_tolerance=cfg
+            ).solve()
+
+
+class TestFaultFreeBitIdentity:
+    def test_gmres_bit_identical(self, laplace, laplace_baseline):
+        res = SolverSession(
+            laplace, partition=(2, 2, 1), fault_tolerance=True
+        ).solve()
+        base = laplace_baseline
+        assert np.array_equal(res.x, base.x)
+        assert res.iterations == base.iterations
+        assert res.residual_norms == base.residual_norms
+        assert res.reduces == base.reduces
+        assert res.reduce_doubles == base.reduce_doubles
+        assert res.ft.recoveries == 0 and res.ft.failures == []
+
+    def test_cg_bit_identical(self, laplace):
+        kry = KrylovConfig(method="cg")
+        base = SolverSession(laplace, partition=(2, 2, 1),
+                             krylov=kry).solve()
+        res = SolverSession(laplace, partition=(2, 2, 1), krylov=kry,
+                            fault_tolerance=True).solve()
+        assert np.array_equal(res.x, base.x)
+        assert res.reduces == base.reduces
+
+    def test_checkpoint_overhead_under_budget(self, laplace):
+        from repro.runtime.layout import JobLayout
+
+        res = SolverSession(
+            laplace, partition=(2, 2, 1), fault_tolerance=True
+        ).solve()
+        layout = JobLayout.cpu_run(1, ranks_per_node=res.n_ranks)
+        modeled = res.timings(layout).total_seconds
+        ckpt = res.ft.modeled_checkpoint_seconds(layout)
+        assert ckpt < 0.05 * modeled
+
+
+class TestDriverSurface:
+    def test_mutually_exclusive_with_resilience(self, laplace):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            SolverSession(
+                laplace, resilience=True, fault_tolerance=True
+            )
+
+    def test_strategy_validated(self):
+        with pytest.raises(ValueError, match="strategy"):
+            FaultToleranceConfig(strategy="pray")
+
+    def test_cg_recovers_from_checkpoint(self, laplace):
+        kry = KrylovConfig(method="cg")
+        plan = RankFailurePlan.single(1, "reduce", 20)
+        cfg = FaultToleranceConfig(
+            plan=plan, strategy="respawn", checkpoint_interval=3
+        )
+        res = SolverSession(laplace, partition=(2, 2, 1), krylov=kry,
+                            fault_tolerance=cfg).solve()
+        assert res.converged and res.final_relres <= RTOL * 1.01
+        assert res.ft.checkpoints >= 1
+        # with checkpoints and the rank's buddy alive, nothing is lost
+        assert res.ft.lost_segments == [[]]
+
+    def test_health_report_records_the_story(self, laplace):
+        res = _ft_solve(laplace, "apply", "shrink")
+        h = res.health
+        assert len(h.faults) == 1 and h.faults[0].kind == "rank_loss"
+        assert any("MPI_ERR_PROC_FAILED" in d for d in h.detections)
+        assert h.restarts == 1
+        text = h.describe()
+        assert "rank_shrink" in text and "interpolated_restart" in text
+
+    def test_trace_has_ft_spans(self, laplace):
+        res = _ft_solve(laplace, "apply", "shrink")
+        names = set()
+
+        def walk(span):
+            names.add(span.name)
+            for ch in span.children:
+                walk(ch)
+
+        walk(res.trace)
+        assert "ft/recovery" in names
+        assert "ft/restart" in names
+        assert "ft/setup_exchange" in names

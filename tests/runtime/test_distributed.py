@@ -63,6 +63,40 @@ class TestSimComm:
         c.send(0, 1, np.zeros(10))
         assert c.bytes_sent == 80
 
+    def test_barrier_counted(self):
+        from repro.obs import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            c = SimComm(size=2)
+            c.barrier()
+            c.barrier()
+        assert c.barriers == 2
+        assert tracer.total("barriers") == 2.0
+
+
+class TestMultiDot:
+    def test_fused_dots_bit_identical_to_single(self, rng):
+        from repro.runtime.distributed import multi_dot
+
+        comm = SimComm(size=3)
+        owned = [np.arange(0, 7), np.arange(7, 12), np.arange(12, 20)]
+        x = DistributedVector.from_global(rng.standard_normal(20), owned)
+        y = DistributedVector.from_global(rng.standard_normal(20), owned)
+        singles = (x.dot(y, comm), x.dot(x, comm), y.dot(y, comm))
+        before = comm.allreduces
+        fused = multi_dot([(x, y), (x, x), (y, y)], comm)
+        # three dots, ONE allreduce, every value bit-identical
+        assert comm.allreduces == before + 1
+        assert fused == singles
+
+    def test_empty_pairs_no_reduction(self):
+        from repro.runtime.distributed import multi_dot
+
+        comm = SimComm(size=2)
+        assert multi_dot([], comm) == ()
+        assert comm.allreduces == 0
+
 
 @pytest.fixture(scope="module")
 def dist_setup():
