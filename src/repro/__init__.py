@@ -86,6 +86,7 @@ from repro.reuse import (
     use_artifact_cache,
 )
 from repro.runtime import JobLayout, SolverTimings, time_solver, trace_solver
+from repro.serve import SolveRequest, SolveResponse, SolverService
 from repro.sparse import CsrMatrix
 
 __version__ = "1.0.0"
@@ -114,7 +115,10 @@ __all__ = [
     "ReuseConfig",
     "SchwarzConfig",
     "SessionResult",
+    "SolveRequest",
+    "SolveResponse",
     "SolveStatus",
+    "SolverService",
     "SolverSession",
     "SolverTimings",
     "StructuredGrid",

@@ -82,6 +82,32 @@ def _check(value: str, valid: Tuple[str, ...], what: str) -> None:
         )
 
 
+#: call sites (filename, lineno) that already got the policy warning --
+#: the same once-per-site registry idiom as the Krylov reducer
+#: deprecation, so the warning fires deterministically regardless of the
+#: ambient ``warnings`` filter configuration
+_POLICY_WARNED_SITES: set = set()
+
+
+def _deprecated_policy_warning(kwarg: str) -> None:
+    import sys
+    import warnings
+
+    caller = sys._getframe(2)
+    site = (caller.f_code.co_filename, caller.f_lineno)
+    if site in _POLICY_WARNED_SITES:
+        return
+    _POLICY_WARNED_SITES.add(site)
+    warnings.warn(
+        f"the '{kwarg}' kwarg on SolverSession() is deprecated; pass the "
+        "config as policy= instead (policy=ResilienceConfig(...) or "
+        "policy=FaultToleranceConfig(...); the session dispatches on its "
+        "type)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 @dataclass(frozen=True)
 class SchwarzConfig:
     """Preconditioner options (one validated object instead of kwargs).
@@ -165,6 +191,17 @@ class KrylovConfig:
             raise ValueError(f"restart must be >= 1, got {self.restart}")
         if self.maxiter < 1:
             raise ValueError(f"maxiter must be >= 1, got {self.maxiter}")
+
+    def describe(self) -> str:
+        """One-line summary, mirroring :meth:`SchwarzConfig.describe`.
+
+        Also the Krylov half of a serving shard key: two requests may
+        share a batched solve only when this string matches.
+        """
+        return (
+            f"{self.method}[{self.variant}] rtol={self.rtol:g} "
+            f"restart={self.restart} maxiter={self.maxiter}"
+        )
 
 
 @dataclass
@@ -273,27 +310,32 @@ class SolverSession:
         ``SessionResult.verification``; in strict mode (the config
         default) a failed check raises
         :class:`~repro.verify.VerificationError`.
+    policy:
+        The session's protection policy -- one parameter for the two
+        mutually-exclusive protection runtimes, dispatched on type:
+
+        * a :class:`~repro.resilience.ResilienceConfig` enables the
+          breakdown-tolerant runtime (detection/recovery ladder, an
+          optional :class:`~repro.resilience.FaultPlan` to inject).
+          The :class:`~repro.resilience.HealthReport` lands on
+          ``SessionResult.health`` and ``SessionResult.status`` reads
+          ``"recovered"`` when the solve converged only thanks to
+          recovery actions.
+        * a :class:`~repro.ft.FaultToleranceConfig` enables the
+          :mod:`repro.ft` rank-loss driver (failure plan, shrink /
+          respawn recovery, checkpoint cadence).  The
+          :class:`~repro.ft.FtReport` lands on ``SessionResult.ft``
+          and the recovery actions on ``SessionResult.health``.
+
+        ``None`` (default) solves unprotected.  The runtimes each own
+        the solve loop in incompatible ways, which is why the API
+        models them as one slot rather than two flags.
     resilience:
-        ``False`` (default) solves without the breakdown-tolerant
-        runtime.  ``True`` enables it with defaults; a
-        :class:`~repro.resilience.ResilienceConfig` selects the
-        detection/recovery knobs and an optional
-        :class:`~repro.resilience.FaultPlan` to inject.  The
-        :class:`~repro.resilience.HealthReport` lands on
-        ``SessionResult.health`` and ``SessionResult.status`` reads
-        ``"recovered"`` when the solve converged only thanks to
-        recovery actions.
+        Deprecated spelling of ``policy=ResilienceConfig(...)``
+        (``True`` selects defaults).  Warns once per call site.
     fault_tolerance:
-        ``False`` (default) solves without rank-loss protection.
-        ``True`` enables the :mod:`repro.ft` fault-tolerant driver with
-        defaults; a :class:`~repro.ft.FaultToleranceConfig` selects the
-        failure plan, recovery strategy (shrink/respawn) and checkpoint
-        cadence.  The :class:`~repro.ft.FtReport` lands on
-        ``SessionResult.ft``, the rank-loss recovery actions on
-        ``SessionResult.health``, and ``SessionResult.status`` reads
-        ``"recovered"`` when the solve converged after a repair.
-        Mutually exclusive with ``resilience=`` (the two runtimes own
-        the solve loop in incompatible ways).
+        Deprecated spelling of ``policy=FaultToleranceConfig(...)``
+        (``True`` selects defaults).  Warns once per call site.
     reuse:
         Controls the amortized-setup paths of :meth:`resolve` and
         :meth:`solve_sequence`.  The default (``False`` or ``True``)
@@ -313,6 +355,7 @@ class SolverSession:
         nullspace: Optional[np.ndarray] = None,
         tracer: Optional[Tracer] = None,
         verify: object = False,
+        policy: object = None,
         resilience: object = False,
         fault_tolerance: object = False,
         reuse: object = False,
@@ -339,15 +382,20 @@ class SolverSession:
 
             verify = VerifyConfig()
         self.verify: object = verify or None
+        # the deprecated two-flag spelling feeds the same policy slot
+        if resilience is not False and resilience is not None:
+            _deprecated_policy_warning("resilience")
+        if fault_tolerance is not False and fault_tolerance is not None:
+            _deprecated_policy_warning("fault_tolerance")
         if resilience is True:
             from repro.resilience.engine import ResilienceConfig
 
             resilience = ResilienceConfig()
-        self.resilience: object = resilience or None
         if fault_tolerance is True:
             from repro.ft import FaultToleranceConfig
 
             fault_tolerance = FaultToleranceConfig()
+        self.resilience: object = resilience or None
         self.fault_tolerance: object = fault_tolerance or None
         if self.fault_tolerance is not None and self.resilience is not None:
             raise ValueError(
@@ -355,6 +403,25 @@ class SolverSession:
                 "the breakdown-tolerant engine and the rank-loss driver "
                 "each own the solve loop; run them in separate sessions"
             )
+        if policy is not None and policy is not False:
+            if self.resilience is not None or self.fault_tolerance is not None:
+                raise ValueError(
+                    "pass policy= alone; the deprecated resilience=/"
+                    "fault_tolerance= keywords cannot be combined with it"
+                )
+            from repro.ft import FaultToleranceConfig
+            from repro.resilience.engine import ResilienceConfig
+
+            if isinstance(policy, ResilienceConfig):
+                self.resilience = policy
+            elif isinstance(policy, FaultToleranceConfig):
+                self.fault_tolerance = policy
+            else:
+                raise TypeError(
+                    "policy must be a ResilienceConfig or a "
+                    f"FaultToleranceConfig, got {type(policy).__name__}"
+                )
+        self.policy: object = self.resilience or self.fault_tolerance
         # reuse is always available through resolve()/solve_sequence();
         # the config only switches on the opt-in non-bit-identical
         # accelerators (warm start, recycling)
@@ -412,7 +479,20 @@ class SolverSession:
         )
         dec_plan = cache.get(dkey)
         if dec_plan is None:
-            dec = Decomposition.from_box_partition(problem, *self.partition)
+            if hasattr(problem, "grid"):
+                dec = Decomposition.from_box_partition(
+                    problem, *self.partition
+                )
+            else:
+                # bare algebraic operators (the serving path) have no
+                # grid; partition the node graph into the same number
+                # of subdomains the box split would have produced
+                px, py, pz = self.partition
+                dec = Decomposition.algebraic(
+                    problem.a,
+                    px * py * pz,
+                    dofs_per_node=getattr(problem, "dofs_per_node", 1),
+                )
             cache.put(dkey, dec)
         else:
             dec = dec_plan.with_values(problem.a)

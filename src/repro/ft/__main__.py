@@ -59,7 +59,7 @@ def _session(problem, ft_config):
         problem,
         partition=(2, 2, 1),
         krylov=KrylovConfig(rtol=_RTOL),
-        fault_tolerance=ft_config,
+        policy=ft_config,
     )
 
 

@@ -20,6 +20,13 @@ A preconditioned CG and the *pipelined* CG of Ghysels & Vanroose (one
 overlappable reduction per iteration, with residual replacement) cover
 the SPD side of Table I's Krylov menu.
 
+:mod:`repro.krylov.block` adds the multi-RHS block variants the serving
+layer batches same-pattern tenant requests through: ``k`` independent
+Krylov iterations run in lockstep over an ``(n, k)`` block, sharing one
+batched SpMV and one batched reduction set per step, with per-column
+convergence deflation -- bit-identical per column to the single-RHS
+solvers.
+
 Reductions are routed through a pluggable reducer
 (:class:`repro.krylov.reduce.ReduceCounter` by default) so the simulated
 runtime can count and price them; a preconditioned CG is included for
@@ -28,16 +35,26 @@ the SPD ablations.
 
 from repro.krylov.gmres import gmres, GmresResult
 from repro.krylov.cg import cg, CgResult
+from repro.krylov.block import (
+    BLOCK_ITERATION_TOLERANCE,
+    BlockSolveResult,
+    block_cg,
+    block_gmres,
+)
 from repro.krylov.pipelined import pipelined_cg, PipelinedCgResult
 from repro.krylov.reduce import ReduceCounter
 from repro.krylov.status import SolveStatus
 
 __all__ = [
+    "BLOCK_ITERATION_TOLERANCE",
+    "BlockSolveResult",
     "CgResult",
     "GmresResult",
     "PipelinedCgResult",
     "ReduceCounter",
     "SolveStatus",
+    "block_cg",
+    "block_gmres",
     "cg",
     "gmres",
     "pipelined_cg",

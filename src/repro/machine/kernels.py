@@ -61,6 +61,26 @@ class Kernel:
             self.launches,
         )
 
+    def block_scaled(self, width: float) -> "Kernel":
+        """The same kernel applied to ``width`` fused right-hand sides.
+
+        A block (multi-RHS) application multiplies the arithmetic and
+        traffic by the block width *and* the independent work items
+        (every column's rows are independent), while the launch count is
+        shared across the whole block -- the throughput argument behind
+        same-pattern request batching: ``k`` fused columns pay one
+        launch-latency critical path, and the ``k``-fold parallelism
+        *improves* occupancy on an MPS share exactly as Section VI's
+        small-subdomain kernels do.
+        """
+        return Kernel(
+            self.name,
+            self.flops * width,
+            self.bytes * width,
+            self.parallelism * width,
+            self.launches,
+        )
+
 
 class KernelProfile:
     """An ordered collection of kernels representing one operation.
@@ -128,3 +148,9 @@ class KernelProfile:
     def work_scaled(self, factor: float) -> "KernelProfile":
         """Profile with flops and bytes scaled (shared-task spreading)."""
         return KernelProfile(k.work_scaled(factor) for k in self.kernels)
+
+    def block_scaled(self, width: float) -> "KernelProfile":
+        """Profile applied to ``width`` fused right-hand sides (work and
+        parallelism scale, launches are shared; see
+        :meth:`Kernel.block_scaled`)."""
+        return KernelProfile(k.block_scaled(width) for k in self.kernels)

@@ -94,6 +94,21 @@ class GpuSpace(ExecutionSpace):
         t_bytes = kernel.bytes / bandwidth
         return kernel.launches * self.spec.launch_latency + max(t_flops, t_bytes)
 
+    def split(self, tenants: int) -> "GpuSpace":
+        """This rank's slice when ``tenants`` concurrent solves share it.
+
+        The multi-tenant serving model stacks a second MPS partition on
+        top of the per-solve one: ``t`` tenants running concurrently on
+        a rank's share each see ``share / t`` of the GPU (compute and
+        achievable bandwidth), while the launch path and the
+        occupancy-improvement effect of the smaller slice are unchanged
+        -- the paper's Section VI economics applied to tenant
+        concurrency instead of MPI ranks.
+        """
+        if tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {tenants}")
+        return GpuSpace(self.spec, share=self.share / tenants)
+
 
 def price(profile: KernelProfile, space: ExecutionSpace) -> float:
     """Model seconds to execute a profile's kernels back-to-back."""

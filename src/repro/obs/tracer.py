@@ -29,10 +29,13 @@ Span taxonomy (the names the instrumented stack emits)::
     factor/symbolic      factor/numeric       comm/message
     reuse/skip_setup     reuse/refactor       reuse/local_refactor
     reuse/extension_refactor  reuse/coarse_refactor  reuse/recycle
+    serve/batch          serve/solve
 
 Counters use fixed keys: ``flops``, ``bytes``, ``launches`` (from
 kernel profiles), ``reduces``, ``reduce_doubles`` (global reductions),
-``messages``, ``bytes_sent`` (point-to-point traffic).
+``messages``, ``bytes_sent`` (point-to-point traffic), and on the
+serving spans ``batch_width``, ``block_width`` and
+``queue_wait_seconds`` (request queueing against the modeled clock).
 """
 
 from __future__ import annotations

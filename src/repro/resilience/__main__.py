@@ -69,7 +69,7 @@ def _run_cell(problem, kind: str, resilient: bool, seed: int, maxiter: int):
         partition=(2, 2, 2),
         config=_config_for(kind),
         krylov=KrylovConfig(rtol=_RTOL, maxiter=maxiter),
-        resilience=cfg,
+        policy=cfg,
     )
     try:
         with warnings.catch_warnings():

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Any, Hashable, Iterator, Optional
+from typing import Any, Callable, Dict, Hashable, Iterator, Optional
 
 from repro.obs import get_tracer
 
@@ -37,12 +37,23 @@ class LruDict:
     refresh recency; inserting past the bound evicts the least recently
     used entry.  The interface is the small subset the harness and the
     artifact cache need -- not a full MutableMapping.
+
+    ``can_evict`` (optional) vetoes eviction per key: an insertion past
+    the bound evicts the least recently used *evictable* entry.  When
+    every entry is vetoed the mapping temporarily exceeds ``maxsize``
+    rather than dropping an in-use value -- the pin-while-in-use
+    contract interleaved solver sessions rely on.
     """
 
-    def __init__(self, maxsize: int) -> None:
+    def __init__(
+        self,
+        maxsize: int,
+        can_evict: Optional[Callable[[Hashable], bool]] = None,
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
+        self._can_evict = can_evict
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -60,8 +71,18 @@ class LruDict:
         if key in self._data:
             self._data.move_to_end(key)
         self._data[key] = value
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        if len(self._data) <= self.maxsize:
+            return
+        # evict least-recently-used entries the veto allows; a fully
+        # pinned mapping stays over the bound instead of dropping an
+        # entry another in-flight session still holds
+        for k in list(self._data.keys()):
+            if len(self._data) <= self.maxsize:
+                break
+            if k is key or (self._can_evict is not None
+                            and not self._can_evict(k)):
+                continue
+            del self._data[k]
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         if key in self._data:
@@ -83,12 +104,25 @@ class ArtifactCache:
     ambient tracer; ``put`` stores under the LRU bound.  Values must be
     treated as immutable by all users -- the same object is handed to
     every hit.
+
+    Interleaved sessions sharing one cache guard their artifacts with
+    :meth:`pin`/:meth:`unpin` (or the :meth:`pinned` scope): a pinned
+    key is never LRU-evicted, so session A's ``resolve`` filling the
+    cache cannot drop the decomposition session B is mid-solve on.
+    Pins are refcounts -- a key pinned twice needs two unpins -- and may
+    be taken before the artifact is ``put`` (the pool pins the key it is
+    *about* to build).  While every entry is pinned the cache may
+    temporarily exceed ``maxsize``.
     """
 
     def __init__(self, maxsize: int = 32) -> None:
-        self._lru = LruDict(maxsize)
+        self._pins: Dict[tuple, int] = {}
+        self._lru = LruDict(maxsize, can_evict=self._evictable)
         self.hits = 0
         self.misses = 0
+
+    def _evictable(self, key: Hashable) -> bool:
+        return self._pins.get(key, 0) == 0
 
     @property
     def maxsize(self) -> int:
@@ -115,8 +149,45 @@ class ArtifactCache:
         self._lru[key] = value
         return value
 
+    # -- pin-while-in-use ------------------------------------------------
+    def pin(self, key: tuple) -> None:
+        """Hold ``key`` against LRU eviction (refcounted).
+
+        Pinning a key that is not cached yet is allowed: the holder is
+        declaring intent to build-and-put it without losing it to a
+        concurrent session's fills in between.
+        """
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, key: tuple) -> None:
+        """Release one :meth:`pin` hold on ``key``."""
+        count = self._pins.get(key, 0)
+        if count <= 0:
+            raise ValueError(f"unpin without matching pin for key {key!r}")
+        if count == 1:
+            del self._pins[key]
+        else:
+            self._pins[key] = count - 1
+
+    def pin_count(self, key: tuple) -> int:
+        """Current refcount holding ``key`` (0 when unpinned)."""
+        return self._pins.get(key, 0)
+
+    @contextmanager
+    def pinned(self, key: tuple) -> Iterator[None]:
+        """Scope one pin on ``key`` (unpins on exit, even on error)."""
+        self.pin(key)
+        try:
+            yield
+        finally:
+            self.unpin(key)
+
     def clear(self) -> None:
-        """Drop every cached artifact and reset the hit/miss tallies."""
+        """Drop every cached artifact and reset the hit/miss tallies.
+
+        Pins survive a ``clear`` -- they guard *keys*, not values, and
+        the holder's subsequent rebuild-and-put is still protected.
+        """
         self._lru.clear()
         self.hits = 0
         self.misses = 0

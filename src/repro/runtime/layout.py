@@ -39,6 +39,11 @@ class JobLayout:
         ``cores_per_node / ranks_per_node`` threads via threaded BLAS).
     machine:
         Hardware spec; defaults to the scaled Summit-like node.
+    tenants:
+        Concurrent tenant solves sharing every rank's resources (the
+        multi-tenant serving model): each rank's GPU slice shrinks to
+        ``1 / (ranks_per_gpu * tenants)`` via MPS and its CPU lanes to
+        ``threads_per_rank / tenants``.  1 for dedicated (paper) runs.
     """
 
     nodes: int
@@ -47,12 +52,15 @@ class JobLayout:
     ranks_per_gpu: int = 1
     threads_per_rank: int = 1
     machine: MachineSpec = None  # type: ignore[assignment]
+    tenants: int = 1
 
     def __post_init__(self) -> None:
         if self.machine is None:
             object.__setattr__(self, "machine", summit())
         if self.nodes < 1 or self.ranks_per_node < 1:
             raise ValueError("nodes and ranks_per_node must be positive")
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
         if self.use_gpu:
             expected = self.ranks_per_gpu * self.machine.gpus_per_node
             if self.ranks_per_node != expected:
@@ -70,12 +78,24 @@ class JobLayout:
     def compute_space(self) -> ExecutionSpace:
         """The execution space of one rank's solver kernels."""
         if self.use_gpu:
-            return GpuSpace(self.machine.gpu, share=1.0 / self.ranks_per_gpu)
-        return CpuSpace(self.machine.cpu, threads=self.threads_per_rank)
+            space = GpuSpace(self.machine.gpu, share=1.0 / self.ranks_per_gpu)
+            if self.tenants > 1:
+                space = space.split(self.tenants)
+            return space
+        return CpuSpace(self.machine.cpu, threads=self._tenant_threads())
 
     def cpu_space(self) -> ExecutionSpace:
         """The host CPU space of one rank (for CPU-only kernel families)."""
-        return CpuSpace(self.machine.cpu, threads=self.threads_per_rank)
+        return CpuSpace(self.machine.cpu, threads=self._tenant_threads())
+
+    def _tenant_threads(self) -> int:
+        return max(1, self.threads_per_rank // self.tenants)
+
+    def with_tenants(self, tenants: int) -> "JobLayout":
+        """The same placement with ``tenants`` concurrent solves per rank."""
+        import dataclasses
+
+        return dataclasses.replace(self, tenants=tenants)
 
     # ------------------------------------------------------------------
     @classmethod

@@ -40,7 +40,13 @@ from repro.runtime.pricing import (
     reduce_seconds,
 )
 
-__all__ = ["SolverTimings", "spmv_halo_doubles", "time_solver", "trace_solver"]
+__all__ = [
+    "SolverTimings",
+    "block_iteration_seconds",
+    "spmv_halo_doubles",
+    "time_solver",
+    "trace_solver",
+]
 
 
 def spmv_halo_doubles(dec) -> np.ndarray:
@@ -231,6 +237,46 @@ def trace_solver(
         trace=root,
     )
     return timings, root
+
+
+def block_iteration_seconds(precond, layout: JobLayout, width: int) -> float:
+    """Slowest-rank cost of ONE lockstep block-Krylov iteration.
+
+    The serving layer prices a batched multi-RHS solve with this: every
+    compute kernel of the iteration (SpMV + preconditioner apply) is
+    :meth:`~repro.machine.kernels.Kernel.block_scaled` by the active
+    block width -- ``width``-fold flops, bytes and parallelism under a
+    *shared* launch count -- and the halo payloads carry ``width``
+    columns per message.  ``width == 1`` reduces to exactly the
+    per-iteration term of :func:`trace_solver` (same kernels, same
+    halos), so unbatched serving and batch-of-one agree by
+    construction.  The global-reduction term is *not* included here; the
+    block solvers report their own batched reduction counts, priced
+    separately with :func:`~repro.runtime.pricing.reduce_seconds`.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    dec = precond.dec
+    n_ranks = dec.n_subdomains
+    a = dec.a
+    row_owner = dec.node_owner[
+        np.repeat(np.arange(a.n_rows, dtype=np.int64), a.row_nnz())
+        // dec.dofs_per_node
+    ]
+    nnz_per_rank = np.bincount(row_owner, minlength=n_ranks)
+    rows_per_rank = np.asarray(
+        [p.size * dec.dofs_per_node for p in dec.node_parts]
+    )
+    spmv_halo = spmv_halo_doubles(dec)
+    worst = 0.0
+    for r in range(n_ranks):
+        prof = _spmv_profile(int(nnz_per_rank[r]), int(rows_per_rank[r]))
+        prof.extend(precond.rank_apply_profile(r))
+        c = price_profile(prof.block_scaled(width), layout)
+        c += halo_seconds(layout, width * precond.halo_doubles(r))
+        c += halo_seconds(layout, width * int(spmv_halo[r]))
+        worst = max(worst, c)
+    return worst
 
 
 def time_solver(

@@ -1,0 +1,53 @@
+"""Multi-tenant solver serving: requests, batching, session pooling.
+
+The paper's MPS experiments (Section VI) share one GPU between MPI
+ranks of a *single* solve.  This package applies the same sharing
+economics to a *service*: many tenants submit independent solve
+requests against a small set of operators, and the service drives the
+existing stack for them --
+
+* :mod:`repro.serve.request` -- the wire schema
+  (:class:`~repro.serve.request.SolveRequest` /
+  :class:`~repro.serve.request.SolveResponse`);
+* :mod:`repro.serve.batcher` -- same-pattern coalescing into block
+  (multi-RHS) solves;
+* :mod:`repro.serve.pool` -- the shard-keyed
+  :class:`~repro.api.SolverSession` pool with pin-while-in-use artifact
+  protection;
+* :mod:`repro.serve.service` -- :class:`~repro.serve.service.SolverService`,
+  the modeled-clock request loop;
+* :mod:`repro.serve.bench` -- the tenant-count sweep behind
+  ``BENCH_serve.json`` (``python -m repro.serve --bench``).
+
+Quick start::
+
+    from repro import laplace_3d
+    from repro.serve import SolveRequest, SolverService
+
+    service = SolverService()
+    problem = laplace_3d(6, 6, 6)
+    fp = service.register(problem.a)
+    for tenant in ("a", "b", "c", "d"):
+        service.submit(SolveRequest(rhs=problem.b, matrix_fingerprint=fp,
+                                    tenant=tenant, partition=(2, 2, 1)))
+    for resp in service.drain():        # one width-4 block solve
+        print(resp.tenant, resp.status, resp.iterations,
+              resp.batch_width, resp.latency_seconds)
+"""
+
+from repro.serve.batcher import RequestBatch, RequestBatcher, shard_key
+from repro.serve.pool import PooledSession, SessionPool
+from repro.serve.request import SolveRequest, SolveResponse
+from repro.serve.service import RegisteredOperator, SolverService
+
+__all__ = [
+    "PooledSession",
+    "RegisteredOperator",
+    "RequestBatch",
+    "RequestBatcher",
+    "SessionPool",
+    "SolveRequest",
+    "SolveResponse",
+    "SolverService",
+    "shard_key",
+]

@@ -1,0 +1,61 @@
+"""CLI entry: ``python -m repro.serve --bench`` runs the serving bench."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.serve.bench import run_serve_bench
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="multi-tenant serving benchmark (BENCH_serve.json)",
+    )
+    ap.add_argument(
+        "--bench", action="store_true",
+        help="run the tenant-count sweep (the only mode; kept explicit "
+             "so the invocation reads as a benchmark, not a server)",
+    )
+    ap.add_argument("--out", default=None, help="write the JSON report here")
+    ap.add_argument(
+        "--tenants", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="tenant counts to sweep",
+    )
+    ap.add_argument(
+        "--elements", type=int, default=6, help="elements per axis"
+    )
+    args = ap.parse_args(argv)
+    if not args.bench:
+        ap.error("pass --bench to run the serving benchmark")
+
+    report = run_serve_bench(
+        tenant_counts=args.tenants, elements=args.elements
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+    for t, rec in sorted(report["tenants"].items(), key=lambda kv: int(kv[0])):
+        m = rec["modes"]
+        print(
+            f"[serve] t={t:>2s}: unbatched {m['unbatched']['requests_per_second']:.2f} "
+            f"req/s, concurrent {m['concurrent']['requests_per_second']:.2f}, "
+            f"batched {m['batched']['requests_per_second']:.2f} "
+            f"(p99 {m['batched']['p99_latency_seconds']:.3e}s)",
+            file=sys.stderr,
+        )
+    if report["violations"]:
+        for v in report["violations"]:
+            print(f"[serve] VIOLATION: {v}", file=sys.stderr)
+        return 1
+    print("[serve] batching/iteration-parity invariants hold",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

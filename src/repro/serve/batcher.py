@@ -1,0 +1,162 @@
+"""Same-pattern request coalescing.
+
+Two requests may share one batched multi-RHS solve only when the whole
+solve is identical up to the right-hand side:
+
+* same operator *values* (a multi-RHS block solve applies one operator
+  to every column), hence same pattern;
+* same partition, same :class:`~repro.api.SchwarzConfig` and
+  :class:`~repro.api.KrylovConfig` (their ``describe()`` strings), and
+  same nullspace source -- one preconditioner serves the block.
+
+The *shard* key (pattern fingerprint + partition + config strings)
+identifies the pooled session; within a shard, batches are sub-keyed by
+the values fingerprint.  :meth:`RequestBatcher.take_batches` drains the
+pending set into width-capped batches ordered by earliest deadline,
+then highest priority, then arrival -- the order the service executes
+them in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.serve.request import SolveRequest
+
+__all__ = ["RequestBatcher", "RequestBatch", "shard_key"]
+
+
+def shard_key(req: SolveRequest, pattern_fp: str) -> Tuple:
+    """The session-shard identity of one request.
+
+    ``pattern_fp`` is resolved by the service (a request may carry only
+    a registered fingerprint); everything else comes from the request's
+    configuration.  Matching shard keys mean the same pooled
+    :class:`~repro.api.SolverSession` can serve both requests.
+    """
+    return (
+        pattern_fp,
+        req.partition,
+        req.config.describe(),
+        req.krylov.describe(),
+    )
+
+
+@dataclass
+class _Pending:
+    """One queued request with its resolved identity and arrival stamp."""
+
+    req: SolveRequest
+    shard: Tuple
+    values_fp: str
+    arrival_clock: float
+    seq: int
+
+
+@dataclass
+class RequestBatch:
+    """One executable unit: same shard, same operator values.
+
+    ``width == len(requests)``; the service stacks the right-hand sides
+    into an ``(n, width)`` block and runs one block solve.
+    """
+
+    shard: Tuple
+    values_fp: str
+    requests: List[SolveRequest] = field(default_factory=list)
+    arrival_clocks: List[float] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        return len(self.requests)
+
+    def _deadline(self) -> float:
+        ds = [
+            c + r.deadline
+            for r, c in zip(self.requests, self.arrival_clocks)
+            if r.deadline is not None
+        ]
+        return min(ds) if ds else math.inf
+
+    def _priority(self) -> int:
+        return max(r.priority for r in self.requests)
+
+
+class RequestBatcher:
+    """Accumulates pending requests and drains them as ordered batches.
+
+    Parameters
+    ----------
+    max_batch:
+        Width cap per batch; a group of ``k > max_batch`` coalescible
+        requests splits into ``ceil(k / max_batch)`` batches (in
+        priority-then-arrival order).
+    batching:
+        ``False`` disables coalescing entirely -- every request becomes
+        its own width-1 batch (the one-at-a-time baseline the serving
+        benchmark compares against).  Ordering rules are unchanged.
+    """
+
+    def __init__(self, max_batch: int = 8, batching: bool = True) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = int(max_batch)
+        self.batching = bool(batching)
+        self._pending: List[_Pending] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(
+        self,
+        req: SolveRequest,
+        shard: Tuple,
+        values_fp: str,
+        arrival_clock: float,
+    ) -> None:
+        """Queue one request under its resolved shard / values identity."""
+        self._pending.append(
+            _Pending(req, shard, values_fp, arrival_clock, self._seq)
+        )
+        self._seq += 1
+
+    def take_batches(self) -> List[RequestBatch]:
+        """Drain the pending set into execution-ordered batches.
+
+        Within a coalescible group, requests are ordered by priority
+        (descending) then arrival; across batches, execution order is
+        earliest absolute deadline, then highest priority, then first
+        arrival.
+        """
+        groups: Dict[Tuple, List[_Pending]] = {}
+        for p in self._pending:
+            if self.batching:
+                gkey = (p.shard, p.values_fp)
+            else:
+                gkey = (p.shard, p.values_fp, p.seq)
+            groups.setdefault(gkey, []).append(p)
+        self._pending = []
+
+        batches: List[Tuple[Tuple, RequestBatch]] = []
+        for members in groups.values():
+            members.sort(key=lambda p: (-p.req.priority, p.seq))
+            for i in range(0, len(members), self.max_batch):
+                chunk = members[i : i + self.max_batch]
+                batch = RequestBatch(
+                    shard=chunk[0].shard,
+                    values_fp=chunk[0].values_fp,
+                    requests=[p.req for p in chunk],
+                    arrival_clocks=[p.arrival_clock for p in chunk],
+                )
+                first_seq = min(p.seq for p in chunk)
+                batches.append(
+                    (
+                        (batch._deadline(), -batch._priority(), first_seq),
+                        batch,
+                    )
+                )
+        batches.sort(key=lambda t: t[0])
+        return [b for _, b in batches]

@@ -1,0 +1,142 @@
+"""The shard-keyed :class:`~repro.api.SolverSession` pool.
+
+One pooled session per shard (pattern fingerprint + partition + config
+identity).  The pool:
+
+* builds sessions lazily through a caller-supplied factory and bounds
+  the live set with LRU eviction;
+* **pins** each live shard's decomposition key
+  (``("decomposition", pattern_fp, partition)``) in the ambient
+  :class:`~repro.reuse.ArtifactCache` for as long as the session is
+  pooled -- an interleaved tenant filling the cache cannot evict an
+  artifact an in-flight session holds (the pin is taken *before* the
+  first build, so the build-and-put itself is protected);
+* memoizes the built preconditioner per operator-values fingerprint, so
+  repeated same-values batches skip setup entirely (the serving
+  analogue of :meth:`~repro.api.SolverSession.resolve`'s skip path).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+from repro.api import SolverSession
+from repro.reuse import get_artifact_cache
+
+__all__ = ["PooledSession", "SessionPool"]
+
+
+class PooledSession:
+    """One shard's live solver state.
+
+    Attributes
+    ----------
+    shard:
+        The shard key this session serves.
+    session:
+        The underlying :class:`~repro.api.SolverSession`.
+    precond:
+        The most recently built preconditioner (None before first use).
+    values_fp:
+        Values fingerprint ``precond`` was built for.
+    setups:
+        How many preconditioner builds this session has paid (first
+        build prices symbolic + numeric; later rebuilds numeric only).
+    served:
+        Requests served through this session.
+    """
+
+    __slots__ = (
+        "shard", "session", "precond", "values_fp", "pin_key", "cache",
+        "setups", "served",
+    )
+
+    def __init__(
+        self, shard: Tuple, session: SolverSession, pin_key: tuple, cache
+    ) -> None:
+        self.shard = shard
+        self.session = session
+        self.pin_key = pin_key
+        # the cache the pin was taken on: unpin must hit the SAME cache
+        # even if the ambient cache has been swapped since
+        self.cache = cache
+        self.precond = None
+        self.values_fp: Optional[str] = None
+        self.setups = 0
+        self.served = 0
+
+    def preconditioner_for(self, values_fp: str, problem) -> Tuple[object, bool]:
+        """The preconditioner for one operator-values identity.
+
+        Returns ``(precond, reused)``: ``reused`` is True when the
+        cached build matched and no setup was paid.  A different values
+        fingerprint rebuilds through the session (the decomposition
+        plan itself comes from the pinned artifact-cache entry).
+        """
+        if self.precond is not None and self.values_fp == values_fp:
+            return self.precond, True
+        self.session.problem = problem
+        self.precond = self.session.build_preconditioner()
+        self.values_fp = values_fp
+        self.setups += 1
+        return self.precond, False
+
+
+class SessionPool:
+    """LRU-bounded pool of :class:`PooledSession` objects keyed by shard.
+
+    Eviction unpins the evicted shard's decomposition key; the artifact
+    itself then lives or dies by the cache's own LRU policy.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._sessions: "OrderedDict[Tuple, PooledSession]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, shard: Tuple) -> bool:
+        return shard in self._sessions
+
+    def acquire(
+        self,
+        shard: Tuple,
+        factory: Callable[[], SolverSession],
+    ) -> PooledSession:
+        """The pooled session for ``shard``, creating it on first use.
+
+        The decomposition key is pinned before ``factory`` runs, so the
+        session's very first ``build_preconditioner`` stores into a
+        protected slot.
+        """
+        pooled = self._sessions.get(shard)
+        if pooled is not None:
+            self._sessions.move_to_end(shard)
+            return pooled
+        pattern_fp, partition = shard[0], shard[1]
+        pin_key = ("decomposition", pattern_fp, partition)
+        cache = get_artifact_cache()
+        cache.pin(pin_key)
+        try:
+            session = factory()
+        except BaseException:
+            cache.unpin(pin_key)
+            raise
+        pooled = PooledSession(shard, session, pin_key, cache)
+        self._sessions[shard] = pooled
+        while len(self._sessions) > self.maxsize:
+            _, evicted = self._sessions.popitem(last=False)
+            evicted.cache.unpin(evicted.pin_key)
+            self.evictions += 1
+        return pooled
+
+    def close(self) -> None:
+        """Release every pooled session (and its artifact pin)."""
+        for pooled in self._sessions.values():
+            pooled.cache.unpin(pooled.pin_key)
+        self._sessions.clear()

@@ -1,0 +1,362 @@
+"""The multi-tenant solver service.
+
+:class:`SolverService` accepts a stream of
+:class:`~repro.serve.request.SolveRequest` objects and drives the
+existing solver stack for them:
+
+* requests are resolved to a *shard* (pattern fingerprint + partition +
+  config identity) and queued in the
+  :class:`~repro.serve.batcher.RequestBatcher`;
+* :meth:`drain` executes the queued work: same-shard same-values
+  requests coalesce into one block (multi-RHS) Krylov solve
+  (:func:`~repro.krylov.block.block_gmres` /
+  :func:`~repro.krylov.block.block_cg`) through the shard's pooled
+  :class:`~repro.api.SolverSession`;
+* time is a **modeled clock** in model seconds: each batch advances it
+  by its priced service time (setup share + lockstep block iterations +
+  batched reductions under the service's
+  :class:`~repro.runtime.layout.JobLayout`), and every response carries
+  its queue wait and end-to-end latency against that clock.  With
+  ``concurrent=True`` the drained batches run side by side as MPS
+  tenants: each is priced under ``layout.with_tenants(t)`` (a ``1/t``
+  GPU share each) and the round takes the slowest batch, not the sum.
+
+Every request is traced: a ``serve/batch`` span per executed batch
+(with ``batch_width`` and per-request ``queue_wait_seconds`` counters)
+wrapping the block solve's own ``krylov/*`` spans.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api import SolverSession
+from repro.krylov.block import BlockSolveResult, block_cg, block_gmres
+from repro.obs import get_tracer
+from repro.reuse import pattern_fingerprint, values_fingerprint
+from repro.runtime.layout import JobLayout
+from repro.runtime.pricing import reduce_seconds
+from repro.runtime.timings import block_iteration_seconds
+from repro.serve.batcher import RequestBatch, RequestBatcher, shard_key
+from repro.serve.pool import SessionPool
+from repro.serve.request import SolveRequest, SolveResponse
+
+__all__ = ["SolverService", "RegisteredOperator"]
+
+
+class RegisteredOperator:
+    """One operator known to the service, keyed by pattern fingerprint."""
+
+    __slots__ = ("matrix", "pattern_fp", "values_fp", "coordinates",
+                 "dofs_per_node")
+
+    def __init__(self, matrix, coordinates=None, dofs_per_node: int = 1):
+        self.matrix = matrix
+        self.pattern_fp = pattern_fingerprint(matrix)
+        self.values_fp = values_fingerprint(matrix)
+        self.coordinates = coordinates
+        self.dofs_per_node = int(dofs_per_node)
+
+
+class _OperatorProblem:
+    """Adapter giving a bare operator the problem shape the session
+    expects (``a``/``b`` always; geometric extras only when the tenant
+    supplied them -- no FEM assumption)."""
+
+    def __init__(self, a, b, coordinates=None, dofs_per_node: int = 1):
+        self.a = a
+        self.b = b
+        self.dofs_per_node = dofs_per_node
+        if coordinates is not None:
+            self.coordinates = coordinates
+
+
+class SolverService:
+    """Shard-pooled, batch-coalescing solve service.
+
+    Parameters
+    ----------
+    layout:
+        The :class:`~repro.runtime.layout.JobLayout` batches are priced
+        under (rank count must match each request's partition).  Default:
+        one scaled Summit node, 2 ranks per GPU.
+    max_batch:
+        Width cap of one coalesced block solve.
+    batching:
+        ``False`` serves one request at a time (the baseline mode the
+        benchmark compares against).
+    pool_size:
+        LRU bound of the shard session pool.
+    """
+
+    def __init__(
+        self,
+        layout: Optional[JobLayout] = None,
+        max_batch: int = 8,
+        batching: bool = True,
+        pool_size: int = 8,
+    ) -> None:
+        if layout is None:
+            from repro.bench.harness import model_machine
+
+            layout = JobLayout.gpu_run(1, 2, machine=model_machine())
+        self.layout = layout
+        self.batcher = RequestBatcher(max_batch=max_batch, batching=batching)
+        self.pool = SessionPool(maxsize=pool_size)
+        #: the modeled clock, in model seconds since service start
+        self.clock = 0.0
+        #: total requests served (also sources request ids)
+        self.served = 0
+        self._seq = 0
+        self._operators: Dict[str, RegisteredOperator] = {}
+        self._inflight: Dict[str, SolveRequest] = {}
+
+    # -- operator registry ---------------------------------------------
+    def register(
+        self, matrix, coordinates=None, dofs_per_node: int = 1
+    ) -> str:
+        """Register an operator; returns its pattern fingerprint.
+
+        Later requests from any tenant may carry only the fingerprint
+        plus a right-hand side.  Re-registering the same pattern with
+        new values replaces the stored operator (same fingerprint).
+        """
+        op = RegisteredOperator(matrix, coordinates, dofs_per_node)
+        self._operators[op.pattern_fp] = op
+        return op.pattern_fp
+
+    def _resolve(self, req: SolveRequest) -> RegisteredOperator:
+        if req.matrix is not None:
+            fp = pattern_fingerprint(req.matrix)
+            op = self._operators.get(fp)
+            if op is None or op.values_fp != values_fingerprint(req.matrix):
+                op = RegisteredOperator(
+                    req.matrix, req.coordinates, req.dofs_per_node
+                )
+                self._operators[fp] = op
+            return op
+        op = self._operators.get(req.matrix_fingerprint)
+        if op is None:
+            raise KeyError(
+                f"no operator registered under fingerprint "
+                f"{req.matrix_fingerprint!r}; call register() first"
+            )
+        return op
+
+    # -- request intake -------------------------------------------------
+    def submit(self, req: SolveRequest) -> str:
+        """Queue one request; returns its request id."""
+        op = self._resolve(req)
+        if req.rhs.size != op.matrix.n_rows:
+            raise ValueError(
+                f"rhs has {req.rhs.size} entries for a "
+                f"{op.matrix.n_rows}-row operator"
+            )
+        if req.request_id is None:
+            req.request_id = f"r{self._seq:05d}"
+        self._seq += 1
+        self.batcher.add(
+            req, shard_key(req, op.pattern_fp), op.values_fp, self.clock
+        )
+        self._inflight[req.request_id] = req
+        return req.request_id
+
+    # -- execution ------------------------------------------------------
+    def drain(self, concurrent: bool = False) -> List[SolveResponse]:
+        """Serve everything queued; returns responses in completion order.
+
+        ``concurrent=False`` runs the batches back to back on the full
+        layout; ``concurrent=True`` runs them as simultaneous MPS
+        tenants (each priced on a split GPU share, the round costing
+        the slowest batch).
+        """
+        batches = self.batcher.take_batches()
+        if not batches:
+            return []
+        responses: List[SolveResponse] = []
+        if concurrent and len(batches) > 1:
+            tenants = len(batches)
+            layout = self.layout.with_tenants(tenants)
+            start = self.clock
+            round_secs = 0.0
+            for batch in batches:
+                rs, secs = self._serve_batch(batch, layout, start)
+                responses.extend(rs)
+                round_secs = max(round_secs, secs)
+            self.clock = start + round_secs
+        else:
+            for batch in batches:
+                rs, secs = self._serve_batch(batch, self.layout, self.clock)
+                responses.extend(rs)
+                self.clock += secs
+        return responses
+
+    def solve(self, req: SolveRequest) -> SolveResponse:
+        """Submit one request and serve it immediately (width-1 batch)."""
+        self.submit(req)
+        return self.drain()[0]
+
+    # -- internals ------------------------------------------------------
+    def _session_factory(
+        self, batch: RequestBatch, op: RegisteredOperator
+    ) -> Callable[[], SolverSession]:
+        head = batch.requests[0]
+        problem = _OperatorProblem(
+            op.matrix, batch.requests[0].rhs,
+            coordinates=op.coordinates, dofs_per_node=op.dofs_per_node,
+        )
+
+        def factory() -> SolverSession:
+            return SolverSession(
+                problem,
+                partition=head.partition,
+                config=head.config,
+                krylov=head.krylov,
+                nullspace=head.nullspace,
+            )
+
+        return factory
+
+    def _run_block(
+        self, batch: RequestBatch, op: RegisteredOperator, precond
+    ) -> BlockSolveResult:
+        head = batch.requests[0]
+        kry = head.krylov
+        b_block = np.stack([r.rhs for r in batch.requests], axis=1)
+        if kry.method == "gmres":
+            return block_gmres(
+                op.matrix,
+                b_block,
+                preconditioner=precond,
+                rtol=kry.rtol,
+                restart=kry.restart,
+                maxiter=kry.maxiter,
+                variant=kry.variant,
+            )
+        if kry.method == "cg":
+            return block_cg(
+                op.matrix,
+                b_block,
+                preconditioner=precond,
+                rtol=kry.rtol,
+                maxiter=kry.maxiter,
+            )
+        raise ValueError(
+            f"Krylov method {kry.method!r} is not supported by the "
+            "batched serving path (gmres and cg are)"
+        )
+
+    def _solve_price(
+        self, result: BlockSolveResult, precond, layout: JobLayout
+    ) -> float:
+        """Deflation-aware model seconds of the block iteration phase.
+
+        Columns retire as they converge, so iteration ``i`` runs at the
+        width of the still-active columns: sorting the per-column depths
+        ascending, the block spends ``d_1`` iterations at full width,
+        ``d_2 - d_1`` at width ``k-1``, and so on.  Batched reductions
+        are priced once from the result's own batched counters.
+        """
+        depths = sorted(result.iterations)
+        k = len(depths)
+        secs = 0.0
+        prev = 0
+        for j, d in enumerate(depths):
+            span = d - prev
+            if span > 0:
+                width = k - j
+                secs += span * block_iteration_seconds(precond, layout, width)
+            prev = d
+        secs += reduce_seconds(
+            layout, result.reduces, result.reduce_doubles
+        )
+        return secs
+
+    def _serve_batch(
+        self, batch: RequestBatch, layout: JobLayout, start_clock: float
+    ) -> Tuple[List[SolveResponse], float]:
+        op = self._operators[batch.shard[0]]
+        tr = get_tracer()
+        with tr.span("serve/batch") as sp:
+            sp.annotate(shard=str(batch.shard[2:]), tenants=sorted(
+                {r.tenant for r in batch.requests}
+            ))
+            sp.count("batch_width", float(batch.width))
+            pooled = self.pool.acquire(
+                batch.shard, self._session_factory(batch, op)
+            )
+            first_use = pooled.setups == 0
+            precond, reused = pooled.preconditioner_for(
+                batch.values_fp,
+                _OperatorProblem(
+                    op.matrix, batch.requests[0].rhs,
+                    coordinates=op.coordinates,
+                    dofs_per_node=op.dofs_per_node,
+                ),
+            )
+            if reused:
+                setup_secs = 0.0
+            else:
+                from repro.runtime.timings import time_solver
+
+                t = time_solver(precond, layout, 0, 0, 0)
+                setup_secs = (
+                    t.first_setup_seconds if first_use else t.setup_seconds
+                )
+            with tr.span("serve/solve") as ssp:
+                result = self._run_block(batch, op, precond)
+                ssp.count("block_width", float(batch.width))
+            solve_secs = self._solve_price(result, precond, layout)
+            batch_secs = setup_secs + solve_secs
+            sp.annotate(
+                setup_seconds=setup_secs,
+                solve_seconds=solve_secs,
+                setup_reused=reused,
+            )
+            b_norms = [
+                max(float(np.linalg.norm(r.rhs)), 1e-300)
+                for r in batch.requests
+            ]
+            responses = []
+            for i, (req, arrival) in enumerate(
+                zip(batch.requests, batch.arrival_clocks)
+            ):
+                x = result.x[:, i].copy()
+                relres = float(
+                    np.linalg.norm(op.matrix.matvec(x) - req.rhs)
+                    / b_norms[i]
+                )
+                wait = start_clock - arrival
+                latency = wait + batch_secs
+                sp.count("queue_wait_seconds", wait)
+                responses.append(
+                    SolveResponse(
+                        request_id=req.request_id,
+                        tenant=req.tenant,
+                        status=result.statuses[i],
+                        x=x,
+                        iterations=result.iterations[i],
+                        converged=result.converged[i],
+                        residual_norms=list(result.residual_norms[i]),
+                        final_relres=relres,
+                        queue_wait_seconds=wait,
+                        batch_width=batch.width,
+                        service_seconds=batch_secs,
+                        latency_seconds=latency,
+                        deadline_met=(
+                            None if req.deadline is None
+                            else latency <= req.deadline
+                        ),
+                        shard=f"{batch.shard[0][:8]}:{batch.shard[2]}",
+                    )
+                )
+                self._inflight.pop(req.request_id, None)
+                pooled.served += 1
+                self.served += 1
+        return responses, batch_secs
+
+    def close(self) -> None:
+        """Release pooled sessions and their artifact pins."""
+        self.pool.close()

@@ -116,3 +116,89 @@ class TestHarnessCaches:
         p2 = weak_scaled_problem(1, elements_per_node_axis=2)
         assert p1 is p2
         clear_cache()
+
+
+class TestPinning:
+    """Pin-while-in-use: interleaved sessions cannot lose live artifacts."""
+
+    def test_pinned_key_survives_lru_churn(self):
+        cache = ArtifactCache(maxsize=2)
+        cache.put(("keep",), "artifact")
+        cache.pin(("keep",))
+        for i in range(20):
+            cache.put(("churn", i), i)
+        assert cache._lru.get(("keep",)) == "artifact"
+        cache.unpin(("keep",))
+
+    def test_unpinned_key_evicts_normally(self):
+        cache = ArtifactCache(maxsize=2)
+        cache.put(("keep",), "artifact")
+        cache.pin(("keep",))
+        cache.unpin(("keep",))
+        for i in range(5):
+            cache.put(("churn", i), i)
+        assert cache._lru.get(("keep",)) is None
+        assert len(cache) == 2
+
+    def test_all_pinned_exceeds_bound_temporarily(self):
+        cache = ArtifactCache(maxsize=1)
+        cache.put(("a",), 1)
+        cache.pin(("a",))
+        cache.put(("b",), 2)
+        cache.pin(("b",))
+        cache.put(("c",), 3)
+        cache.pin(("c",))
+        assert len(cache) == 3  # over the bound, nothing evictable
+        for k in (("a",), ("b",), ("c",)):
+            cache.unpin(k)
+        cache.put(("d",), 4)  # shrinks back under the bound
+        assert len(cache) == 1
+
+    def test_pin_is_refcounted(self):
+        cache = ArtifactCache(maxsize=1)
+        cache.put(("k",), 0)
+        cache.pin(("k",))
+        cache.pin(("k",))
+        assert cache.pin_count(("k",)) == 2
+        cache.unpin(("k",))
+        cache.put(("other",), 1)  # still held by one pin
+        assert cache._lru.get(("k",)) == 0
+        cache.unpin(("k",))
+        assert cache.pin_count(("k",)) == 0
+
+    def test_unpin_without_pin_raises(self):
+        cache = ArtifactCache(maxsize=2)
+        with pytest.raises(ValueError, match="unpin without matching pin"):
+            cache.unpin(("never",))
+
+    def test_pin_before_put_protects_the_build(self):
+        """The pool pins the key it is ABOUT to build; a concurrent
+        session filling the cache in between must not evict it."""
+        cache = ArtifactCache(maxsize=1)
+        with cache.pinned(("building",)):
+            cache.put(("rival", 0), "x")
+            cache.put(("building",), "mine")
+            cache.put(("rival", 1), "y")
+            assert cache._lru.get(("building",)) == "mine"
+
+    def test_pinned_scope_unpins_on_error(self):
+        cache = ArtifactCache(maxsize=2)
+        with pytest.raises(RuntimeError):
+            with cache.pinned(("k",)):
+                raise RuntimeError("boom")
+        assert cache.pin_count(("k",)) == 0
+
+    def test_pins_survive_clear(self):
+        cache = ArtifactCache(maxsize=2)
+        cache.pin(("k",))
+        cache.clear()
+        assert cache.pin_count(("k",)) == 1
+        cache.unpin(("k",))
+
+    def test_lru_dict_can_evict_predicate(self):
+        vetoed = {"locked"}
+        d = LruDict(maxsize=2, can_evict=lambda k: k not in vetoed)
+        d["locked"] = 1
+        d["a"] = 2
+        d["b"] = 3  # must evict "a", not the vetoed LRU "locked"
+        assert "locked" in d and "b" in d and "a" not in d

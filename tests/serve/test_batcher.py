@@ -1,0 +1,113 @@
+"""Batcher coalescing rules: shard identity, width caps, ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import KrylovConfig, SchwarzConfig
+from repro.serve import RequestBatcher, SolveRequest, shard_key
+
+
+def _req(n=8, fp="pat-a", **kw):
+    return SolveRequest(rhs=np.ones(n), matrix_fingerprint=fp, **kw)
+
+
+def _add(batcher, req, fp="pat-a", values_fp="val-a", clock=0.0):
+    batcher.add(req, shard_key(req, fp), values_fp, clock)
+
+
+class TestCoalescing:
+    def test_same_pattern_one_batch(self):
+        b = RequestBatcher(max_batch=8)
+        for i in range(4):
+            _add(b, _req(tenant=f"t{i}"))
+        batches = b.take_batches()
+        assert len(batches) == 1
+        assert batches[0].width == 4
+        assert len(b) == 0  # drained
+
+    def test_distinct_patterns_separate_batches(self):
+        b = RequestBatcher(max_batch=8)
+        _add(b, _req(fp="pat-a"), fp="pat-a", values_fp="val-a")
+        _add(b, _req(fp="pat-b"), fp="pat-b", values_fp="val-b")
+        batches = b.take_batches()
+        assert len(batches) == 2
+        assert {bt.shard[0] for bt in batches} == {"pat-a", "pat-b"}
+
+    def test_distinct_values_same_pattern_separate_batches(self):
+        """A multi-RHS solve applies ONE operator: same pattern with
+        different values must not coalesce."""
+        b = RequestBatcher(max_batch=8)
+        _add(b, _req(), values_fp="val-1")
+        _add(b, _req(), values_fp="val-2")
+        assert len(b.take_batches()) == 2
+
+    def test_distinct_configs_separate_batches(self):
+        b = RequestBatcher(max_batch=8)
+        _add(b, _req())
+        _add(b, _req(config=SchwarzConfig(overlap=2)))
+        _add(b, _req(krylov=KrylovConfig(rtol=1e-9)))
+        assert len(b.take_batches()) == 3
+
+    def test_max_batch_splits(self):
+        b = RequestBatcher(max_batch=3)
+        for _ in range(7):
+            _add(b, _req())
+        widths = sorted(bt.width for bt in b.take_batches())
+        assert widths == [1, 3, 3]
+
+    def test_batching_off_gives_width_one(self):
+        b = RequestBatcher(max_batch=8, batching=False)
+        for _ in range(5):
+            _add(b, _req())
+        batches = b.take_batches()
+        assert [bt.width for bt in batches] == [1] * 5
+
+    def test_max_batch_validated(self):
+        with pytest.raises(ValueError):
+            RequestBatcher(max_batch=0)
+
+
+class TestOrdering:
+    def test_earliest_deadline_first(self):
+        b = RequestBatcher(batching=False)
+        _add(b, _req(tenant="late", deadline=9.0))
+        _add(b, _req(tenant="urgent", deadline=1.0))
+        _add(b, _req(tenant="whenever"))  # no deadline -> last
+        order = [bt.requests[0].tenant for bt in b.take_batches()]
+        assert order == ["urgent", "late", "whenever"]
+
+    def test_priority_breaks_deadline_ties(self):
+        b = RequestBatcher(batching=False)
+        _add(b, _req(tenant="low", priority=0))
+        _add(b, _req(tenant="high", priority=5))
+        order = [bt.requests[0].tenant for bt in b.take_batches()]
+        assert order == ["high", "low"]
+
+    def test_arrival_breaks_remaining_ties(self):
+        b = RequestBatcher(batching=False)
+        _add(b, _req(tenant="first"))
+        _add(b, _req(tenant="second"))
+        order = [bt.requests[0].tenant for bt in b.take_batches()]
+        assert order == ["first", "second"]
+
+    def test_deadline_is_absolute_not_relative(self):
+        """A deadline counts from submission: an early request with a
+        long budget can still be due before a late request with a short
+        one."""
+        b = RequestBatcher(batching=False)
+        _add(b, _req(tenant="early", deadline=5.0), clock=0.0)   # due at 5
+        _add(b, _req(tenant="late", deadline=1.0), clock=10.0)   # due at 11
+        order = [bt.requests[0].tenant for bt in b.take_batches()]
+        assert order == ["early", "late"]
+
+    def test_priority_orders_within_batch(self):
+        b = RequestBatcher(max_batch=2)
+        _add(b, _req(tenant="a", priority=0))
+        _add(b, _req(tenant="b", priority=9))
+        _add(b, _req(tenant="c", priority=1))
+        batches = b.take_batches()
+        # the high-priority pair fills the first chunk
+        assert [r.tenant for r in batches[0].requests] == ["b", "c"]
+        assert [r.tenant for r in batches[1].requests] == ["a"]

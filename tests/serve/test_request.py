@@ -1,0 +1,91 @@
+"""Request/response schema validation and the SolveStatus round-trip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.krylov import SolveStatus
+from repro.serve import SolveRequest, SolveResponse
+from tests.conftest import random_spd
+
+
+@pytest.fixture
+def matrix():
+    return random_spd(12, seed=3)
+
+
+class TestSolveRequest:
+    def test_matrix_or_fingerprint_exactly_one(self, matrix):
+        b = np.ones(12)
+        with pytest.raises(ValueError, match="exactly one"):
+            SolveRequest(rhs=b)
+        with pytest.raises(ValueError, match="exactly one"):
+            SolveRequest(rhs=b, matrix=matrix, matrix_fingerprint="abc")
+        SolveRequest(rhs=b, matrix=matrix)
+        SolveRequest(rhs=b, matrix_fingerprint="abc")
+
+    def test_rhs_must_be_1d(self, matrix):
+        with pytest.raises(ValueError, match="1-D"):
+            SolveRequest(rhs=np.ones((12, 2)), matrix=matrix)
+
+    def test_rhs_length_checked_against_matrix(self, matrix):
+        with pytest.raises(ValueError, match="12-row"):
+            SolveRequest(rhs=np.ones(7), matrix=matrix)
+
+    def test_deadline_positive(self, matrix):
+        with pytest.raises(ValueError, match="deadline"):
+            SolveRequest(rhs=np.ones(12), matrix=matrix, deadline=0.0)
+
+    def test_no_fem_fields_required(self, matrix):
+        """A bare matrix + RHS is a complete request (no grid, no
+        coordinates, no dofs_per_node)."""
+        req = SolveRequest(rhs=np.ones(12), matrix=matrix)
+        assert req.coordinates is None
+        assert req.nullspace is None
+        assert req.dofs_per_node == 1
+
+
+class TestSolveResponseRoundTrip:
+    def _response(self) -> SolveResponse:
+        return SolveResponse(
+            request_id="r00001",
+            tenant="acme",
+            status=SolveStatus.CONVERGED,
+            x=np.arange(4.0),
+            iterations=17,
+            converged=True,
+            residual_norms=[1.0, 0.5, 1e-8],
+            final_relres=1e-8,
+            queue_wait_seconds=0.25,
+            batch_width=4,
+            service_seconds=1.5,
+            latency_seconds=1.75,
+            deadline_met=True,
+            shard="abcd1234:gmres",
+        )
+
+    def test_dict_round_trip(self):
+        resp = self._response()
+        back = SolveResponse.from_dict(resp.to_dict())
+        assert back.status is SolveStatus.CONVERGED
+        assert np.array_equal(back.x, resp.x)
+        assert back.iterations == resp.iterations
+        assert back.residual_norms == resp.residual_norms
+        assert back.deadline_met is True
+        assert back.batch_width == 4
+        assert back.shard == resp.shard
+
+    def test_status_serializes_as_plain_string(self):
+        d = self._response().to_dict()
+        assert d["status"] == "converged"
+        import json
+
+        json.dumps(d)  # the whole dict must be JSON-serializable
+
+    @pytest.mark.parametrize("status", list(SolveStatus))
+    def test_every_status_round_trips(self, status):
+        resp = self._response()
+        resp.status = status
+        back = SolveResponse.from_dict(resp.to_dict())
+        assert back.status is status

@@ -316,3 +316,85 @@ class TestFacadeVariants:
         back = from_jsonl(result.jsonl())
         assert {c.name for c in back.children} == {"setup", "krylov"}
         assert int(back.total("reduces")) == result.reduces
+
+
+class TestPolicyParameter:
+    """The policy= fold of the old resilience=/fault_tolerance= flags."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_site_registry(self):
+        from repro.api import _POLICY_WARNED_SITES
+
+        saved = set(_POLICY_WARNED_SITES)
+        _POLICY_WARNED_SITES.clear()
+        yield
+        _POLICY_WARNED_SITES.clear()
+        _POLICY_WARNED_SITES.update(saved)
+
+    def test_policy_dispatches_on_type(self, small_laplace):
+        from repro.ft import FaultToleranceConfig
+        from repro.resilience import ResilienceConfig
+
+        s = SolverSession(small_laplace, policy=ResilienceConfig())
+        assert s.resilience is not None and s.fault_tolerance is None
+        s = SolverSession(small_laplace, policy=FaultToleranceConfig())
+        assert s.fault_tolerance is not None and s.resilience is None
+
+    def test_policy_rejects_unknown_types(self, small_laplace):
+        with pytest.raises(TypeError, match="policy must be"):
+            SolverSession(small_laplace, policy="resilient")
+
+    def test_default_is_unprotected(self, small_laplace):
+        s = SolverSession(small_laplace)
+        assert s.policy is None
+        assert s.resilience is None and s.fault_tolerance is None
+
+    def test_deprecated_keywords_warn_once_per_site(self, small_laplace):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                SolverSession(small_laplace, resilience=True)
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+        assert "policy=" in str(dep[0].message)
+
+    def test_deprecated_keywords_still_work(self, small_laplace):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            s = SolverSession(small_laplace, resilience=True)
+        assert s.resilience is not None
+        assert s.policy is s.resilience
+
+    def test_policy_cannot_combine_with_deprecated_keywords(
+        self, small_laplace
+    ):
+        import warnings
+
+        from repro.resilience import ResilienceConfig
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="policy= alone"):
+                SolverSession(
+                    small_laplace,
+                    policy=ResilienceConfig(),
+                    fault_tolerance=True,
+                )
+
+
+class TestKrylovDescribe:
+    def test_mirrors_schwarz_describe(self):
+        assert (
+            KrylovConfig().describe()
+            == "gmres[single_reduce] rtol=1e-07 restart=30 maxiter=1000"
+        )
+
+    def test_distinct_configs_distinct_strings(self):
+        a = KrylovConfig().describe()
+        assert KrylovConfig(rtol=1e-9).describe() != a
+        assert KrylovConfig(method="cg").describe() != a
+        assert KrylovConfig(restart=50).describe() != a
