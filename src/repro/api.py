@@ -37,6 +37,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import resolve_backend, to_numpy, use_backend
 from repro.dd.decomposition import Decomposition
 from repro.dd.local_solvers import LocalSolverSpec
 from repro.dd.precision import HalfPrecisionOperator, round_to_single
@@ -344,6 +345,16 @@ class SolverSession:
         numerically.  A :class:`~repro.reuse.ReuseConfig` additionally
         opts into GMRES warm starts and solution recycling (which
         change the iterates and are therefore off by default).
+    backend:
+        Array backend for the numeric core: ``None`` (default -- the
+        ambient :func:`repro.backend.use_backend` scope, ultimately
+        numpy), a backend name (``"numpy"``, ``"torch"``), or a
+        :class:`~repro.backend.Backend` instance.  Validated at
+        construction (an unavailable backend raises with the valid
+        values).  The solve runs under the selected backend and the
+        returned ``SessionResult.x`` is always host numpy.  The numpy
+        backend is bit-identical to pre-backend releases; see
+        docs/performance.md for the other backends' tolerance contract.
     """
 
     def __init__(
@@ -359,6 +370,7 @@ class SolverSession:
         resilience: object = False,
         fault_tolerance: object = False,
         reuse: object = False,
+        backend: object = None,
     ) -> None:
         for attr in ("a", "b"):
             if not hasattr(problem, attr):
@@ -432,6 +444,8 @@ class SolverSession:
                 f"reuse must be a bool or ReuseConfig, got {type(reuse).__name__}"
             )
         self.reuse: ReuseConfig = reuse
+        #: resolved Backend instance, or None for the ambient default
+        self.backend = None if backend is None else resolve_backend(backend)
         self._recycle = (
             RecycleSpace(reuse.recycle) if reuse.recycle > 0 else None
         )
@@ -580,10 +594,16 @@ class SolverSession:
             from repro.verify import GmresInvariantObserver
 
             observer = GmresInvariantObserver()
+        from contextlib import nullcontext
+
         from repro.resilience.context import use_engine
         from repro.resilience.engine import GuardedOperator
 
-        with use_tracer(tracer), use_engine(engine):
+        bk_ctx = (
+            use_backend(self.backend) if self.backend is not None
+            else nullcontext()
+        )
+        with use_tracer(tracer), use_engine(engine), bk_ctx:
             with tracer.span("setup") as sp:
                 sp.annotate(config=self.config.describe(),
                             partition=str(self.partition))
@@ -640,6 +660,8 @@ class SolverSession:
                     iterations += res.iterations
                     residual_norms.extend(res.residual_norms)
         tracer.finish()
+        # results are host-facing regardless of the solve backend
+        res.x = to_numpy(res.x)
 
         relres = float(
             np.linalg.norm(problem.a.matvec(res.x) - problem.b)
@@ -778,7 +800,13 @@ class SolverSession:
             from repro.verify import GmresInvariantObserver
 
             observer = GmresInvariantObserver()
-        with use_tracer(tracer):
+        from contextlib import nullcontext
+
+        bk_ctx = (
+            use_backend(self.backend) if self.backend is not None
+            else nullcontext()
+        )
+        with use_tracer(tracer), bk_ctx:
             with tracer.span("setup") as sp:
                 sp.annotate(
                     config=self.config.describe(),
@@ -809,6 +837,7 @@ class SolverSession:
                     observer, None,
                 )
         tracer.finish()
+        res.x = to_numpy(res.x)
 
         relres = float(
             np.linalg.norm(problem.a.matvec(res.x) - problem.b)

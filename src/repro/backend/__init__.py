@@ -1,0 +1,144 @@
+"""Pluggable array backends for the numeric core (`repro.backend`).
+
+The hot kernels of the stack -- CSR SpMV/SpMM, the level-set and
+supernodal triangular solves, the FastILU sweeps, the one-level Schwarz
+scatter/gather and the Krylov vector operations -- are written against
+the thin :class:`~repro.backend.base.Backend` array API instead of
+importing numpy directly.  Numpy is the default (and bit-identical to
+the pre-refactor kernels); the torch backend activates automatically
+when ``torch`` is importable.
+
+Selection, in precedence order:
+
+1. **Operand auto-detection** -- ``get_backend(x)`` returns the backend
+   that owns ``x``'s array type (a torch tensor selects the torch
+   backend regardless of the ambient default).
+2. **Ambient default** -- ``use_backend("torch")`` (a context manager)
+   or ``SolverSession(backend="torch")`` select the backend for every
+   kernel in scope that received plain-numpy operands.
+3. **Package default** -- numpy.
+
+::
+
+    from repro.backend import get_backend, use_backend
+
+    bk = get_backend()            # ambient default (numpy)
+    with use_backend("torch"):    # requires torch importable
+        result = session.solve()  # kernels run on torch tensors
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Union
+
+from repro.backend.base import Backend, check_out_dtype
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.torch_backend import TorchBackend, torch_available
+
+__all__ = [
+    "Backend",
+    "NumpyBackend",
+    "TorchBackend",
+    "available_backends",
+    "check_out_dtype",
+    "get_backend",
+    "resolve_backend",
+    "to_numpy",
+    "torch_available",
+    "use_backend",
+]
+
+#: the package-default backend (bit-identity contract)
+_NUMPY = NumpyBackend()
+
+#: lazily constructed singletons keyed by name
+_INSTANCES: Dict[str, Backend] = {"numpy": _NUMPY}
+
+_STATE = threading.local()
+
+
+def available_backends() -> List[str]:
+    """Names of the backends that can activate in this environment."""
+    names = ["numpy"]
+    if torch_available():
+        names.append("torch")
+    return names
+
+
+def resolve_backend(backend: Union[None, str, Backend]) -> Backend:
+    """Normalize a backend selector to a :class:`Backend` instance.
+
+    ``None`` resolves to the ambient default; a string must name an
+    *available* backend (``"torch"`` without torch raises with the list
+    of valid values, matching the API-validation idiom of
+    :mod:`repro.api`).
+    """
+    if backend is None:
+        return get_backend()
+    if isinstance(backend, Backend):
+        return backend
+    if isinstance(backend, str):
+        if backend in _INSTANCES:
+            return _INSTANCES[backend]
+        if backend == "torch":
+            if not torch_available():
+                raise ValueError(
+                    "backend 'torch' is unavailable (torch is not "
+                    "importable); available backends: "
+                    + ", ".join(repr(n) for n in available_backends())
+                )
+            _INSTANCES["torch"] = TorchBackend()
+            return _INSTANCES["torch"]
+        raise ValueError(
+            f"unknown backend {backend!r}; valid values: "
+            + ", ".join(repr(n) for n in available_backends())
+        )
+    raise TypeError(
+        f"backend must be None, a name, or a Backend instance, got "
+        f"{type(backend).__name__}"
+    )
+
+
+def get_backend(x: Any = None) -> Backend:
+    """The backend for an operand (auto-detect), else the ambient default.
+
+    A non-numpy operand wins over the ambient default: kernels follow
+    their data.  Plain numpy operands (and ``x=None``) defer to the
+    innermost :func:`use_backend` scope, defaulting to numpy.
+    """
+    if x is not None and not _NUMPY.owns(x):
+        torch_bk = _INSTANCES.get("torch")
+        if torch_bk is not None and torch_bk.owns(x):
+            return torch_bk
+        if torch_bk is None and torch_available():
+            bk = resolve_backend("torch")
+            if bk.owns(x):
+                return bk
+        # unrecognized array-likes (lists, scalars) fall through to the
+        # ambient default, exactly as np.asarray would absorb them
+    stack = getattr(_STATE, "stack", None)
+    if stack:
+        return stack[-1]
+    return _NUMPY
+
+
+@contextmanager
+def use_backend(backend: Union[None, str, Backend]):
+    """Set the ambient default backend for the enclosed scope."""
+    bk = resolve_backend(backend)
+    stack = getattr(_STATE, "stack", None)
+    if stack is None:
+        stack = _STATE.stack = []
+    stack.append(bk)
+    try:
+        yield bk
+    finally:
+        stack.pop()
+
+
+def to_numpy(x: Any, backend: Optional[Backend] = None) -> Any:
+    """Materialize any backend's array as host numpy (numpy: no-op)."""
+    bk = backend if backend is not None else get_backend(x)
+    return bk.to_numpy(x)

@@ -1,0 +1,64 @@
+"""CLI entry: ``python -m repro.bench --backend`` runs the hot-path bench."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "micro-benchmarks of the numeric core (currently: --backend, "
+            "the array-backend hot-path before/after comparison writing "
+            "BENCH_backend.json)"
+        ),
+    )
+    ap.add_argument(
+        "--backend",
+        action="store_true",
+        help="run the array-backend hot-path bench (BENCH_backend.json)",
+    )
+    ap.add_argument("--out", default=None, help="write the JSON report here")
+    ap.add_argument(
+        "--nx", type=int, default=48,
+        help="box edge length; n = nx^3 rows (default 48 -> 110592)",
+    )
+    ap.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats for the vectorized kernels (best-of)",
+    )
+    args = ap.parse_args(argv)
+    if not args.backend:
+        ap.error("select a bench: --backend")
+
+    from repro.bench.backend_bench import run_backend_bench
+
+    report = run_backend_bench(nx=args.nx, repeats=args.repeats)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+    for name, rec in sorted(report["paths"].items()):
+        print(
+            f"[backend] {name:18s}: {rec['reference_seconds']:.3e}s -> "
+            f"{rec['vectorized_seconds']:.3e}s ({rec['speedup']:.1f}x, "
+            f"bit_identical={rec['bit_identical']})",
+            file=sys.stderr,
+        )
+    if report["violations"]:
+        for v in report["violations"]:
+            print(f"[backend] VIOLATION: {v}", file=sys.stderr)
+        return 1
+    print(
+        "[backend] all hot-path speedup/bit-identity gates hold",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

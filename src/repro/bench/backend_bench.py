@@ -1,0 +1,155 @@
+"""Hot-path micro-benchmark of the array-backend refactor.
+
+Times the three kernels whose pure-python row/column loops the backend
+refactor replaced with vectorized equivalents -- the loops the
+``repro.obs`` phase tables flagged as setup hot spots:
+
+* :func:`repro.tri.levelset.level_schedule` (wavefront scheduling),
+* :func:`repro.tri.supernodal.detect_supernodes` (supernode detection),
+* the FastILU diagonal-position scan
+  (:func:`repro.ilu.fastilu._diag_positions`).
+
+Each is timed against its retained ``*_reference`` seed implementation
+on the same inputs and checked for bit-identical outputs.  The
+acceptance gate (enforced by ``python -m repro.bench --backend`` and
+CI) is a >= 2x speedup on ``level_schedule`` at n >= 100k rows plus
+exact equality everywhere.
+
+The structure under test is the strict lower triangle of a 7-point
+Laplacian on an ``nx x ny x nz`` box -- the pattern shape the paper's
+level-set SpTRSV experiments run on (long wavefronts, ~3*nx levels).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.backend import available_backends
+from repro.ilu.fastilu import _diag_positions, _diag_positions_reference
+from repro.sparse.csr import CsrMatrix
+from repro.tri.levelset import _level_schedule_reference, level_schedule
+from repro.tri.supernodal import _detect_supernodes_reference, detect_supernodes
+
+__all__ = ["laplace_lower_structure", "run_backend_bench"]
+
+#: the ISSUE acceptance floor: the de-looped scheduler must be at least
+#: this much faster than the seed loop at n >= 100k
+LEVEL_SCHEDULE_MIN_SPEEDUP = 2.0
+
+
+def laplace_lower_structure(nx: int, ny: int, nz: int) -> CsrMatrix:
+    """Lower-triangular (diagonal included) 7-point Laplacian pattern."""
+    n = nx * ny * nz
+    i = np.arange(n, dtype=np.int64)
+    rows = [i]
+    cols = [i]
+    for off, valid in (
+        (1, i % nx != 0),
+        (nx, (i // nx) % ny != 0),
+        (nx * ny, i // (nx * ny) != 0),
+    ):
+        rows.append(i[valid])
+        cols.append(i[valid] - off)
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    return CsrMatrix.from_coo(r, c, np.ones(r.size), (n, n))
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_backend_bench(nx: int = 48, repeats: int = 3) -> Dict:
+    """Run the three hot-path before/after comparisons.
+
+    Returns the ``BENCH_backend.json`` payload; ``violations`` is
+    non-empty when a vectorized kernel fails bit-identity or the
+    ``level_schedule`` speedup gate.
+    """
+    t = laplace_lower_structure(nx, nx, nx)
+    n = t.n_rows
+    violations = []
+
+    # --- level_schedule -------------------------------------------------
+    ref_s = _time(lambda: _level_schedule_reference(t), 1)
+    vec_s = _time(lambda: level_schedule(t), repeats)
+    lvl_ref = _level_schedule_reference(t)
+    lvl_vec = level_schedule(t)
+    identical = bool(np.array_equal(lvl_ref, lvl_vec))
+    if not identical:
+        violations.append("level_schedule: vectorized result differs from seed loop")
+    speedup = ref_s / max(vec_s, 1e-12)
+    if n >= 100_000 and speedup < LEVEL_SCHEDULE_MIN_SPEEDUP:
+        violations.append(
+            f"level_schedule: speedup {speedup:.2f}x below the "
+            f"{LEVEL_SCHEDULE_MIN_SPEEDUP:.0f}x gate at n={n}"
+        )
+    level_schedule_rec = {
+        "n": n,
+        "nnz": t.nnz,
+        "n_levels": int(lvl_vec.max()) + 1 if n else 0,
+        "reference_seconds": ref_s,
+        "vectorized_seconds": vec_s,
+        "speedup": speedup,
+        "bit_identical": identical,
+    }
+
+    # --- detect_supernodes (CSC lower == CSR upper, via transpose) ------
+    tt = t.transpose()
+    ref_s = _time(
+        lambda: _detect_supernodes_reference(tt.indptr, tt.indices), 1
+    )
+    vec_s = _time(lambda: detect_supernodes(tt.indptr, tt.indices), repeats)
+    sn_ref = _detect_supernodes_reference(tt.indptr, tt.indices)
+    sn_vec = detect_supernodes(tt.indptr, tt.indices)
+    identical = bool(np.array_equal(sn_ref, sn_vec))
+    if not identical:
+        violations.append(
+            "detect_supernodes: vectorized result differs from seed loop"
+        )
+    detect_rec = {
+        "n": n,
+        "n_supernodes": sn_vec.size - 1,
+        "reference_seconds": ref_s,
+        "vectorized_seconds": vec_s,
+        "speedup": ref_s / max(vec_s, 1e-12),
+        "bit_identical": identical,
+    }
+
+    # --- FastILU diag-position scan (upper CSR: diagonal heads rows) ----
+    ref_s = _time(lambda: _diag_positions_reference(tt.indptr, tt.indices), 1)
+    vec_s = _time(lambda: _diag_positions(tt.indptr, tt.indices), repeats)
+    dp_ref = _diag_positions_reference(tt.indptr, tt.indices)
+    dp_vec = _diag_positions(tt.indptr, tt.indices)
+    identical = bool(np.array_equal(dp_ref, dp_vec))
+    if not identical:
+        violations.append(
+            "diag_positions: vectorized result differs from seed loop"
+        )
+    diag_rec = {
+        "n": n,
+        "reference_seconds": ref_s,
+        "vectorized_seconds": vec_s,
+        "speedup": ref_s / max(vec_s, 1e-12),
+        "bit_identical": identical,
+    }
+
+    return {
+        "bench": "backend_hot_paths",
+        "available_backends": available_backends(),
+        "min_level_schedule_speedup": LEVEL_SCHEDULE_MIN_SPEEDUP,
+        "paths": {
+            "level_schedule": level_schedule_rec,
+            "detect_supernodes": detect_rec,
+            "diag_positions": diag_rec,
+        },
+        "violations": violations,
+    }

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.ilu.iluk import iluk_symbolic, _scatter_to_pattern
 from repro.machine.kernels import KernelProfile
 from repro.reuse.fingerprint import check_same_pattern, pattern_fingerprint
@@ -38,6 +39,43 @@ from repro.resilience.detect import (
 from repro.sparse.csr import CsrMatrix
 
 __all__ = ["FastIlu"]
+
+
+def _diag_positions_reference(
+    u_indptr: np.ndarray, u_indices: np.ndarray
+) -> np.ndarray:
+    """The seed row-at-a-time diagonal scan (executable spec + bench
+    baseline); :func:`_diag_positions` must match it bit for bit."""
+    n = u_indptr.size - 1
+    diag_pos = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        lo = u_indptr[i]
+        if lo == u_indptr[i + 1] or u_indices[lo] != i:
+            raise ValueError(f"pattern misses the diagonal in row {i}")
+        diag_pos[i] = lo
+    return diag_pos
+
+
+def _diag_positions(u_indptr: np.ndarray, u_indices: np.ndarray) -> np.ndarray:
+    """Position of each row's diagonal inside the U value array.
+
+    For an upper-triangular CSR with sorted rows the diagonal, when
+    present, is the first entry of its row -- so the scan reduces to one
+    vectorized check of the row heads.  Raises for the first row whose
+    pattern misses the diagonal, exactly like the reference loop.
+    """
+    n = u_indptr.size - 1
+    lo = np.asarray(u_indptr[:-1], dtype=np.int64)
+    empty = lo == u_indptr[1:]
+    first_col = np.full(n, -1, dtype=np.int64)
+    present = ~empty
+    if u_indices.size:
+        first_col[present] = u_indices[lo[present]]
+    bad = empty | (first_col != np.arange(n, dtype=np.int64))
+    if np.any(bad):
+        i = int(np.flatnonzero(bad)[0])
+        raise ValueError(f"pattern misses the diagonal in row {i}")
+    return lo
 
 
 class FastIlu:
@@ -123,17 +161,12 @@ class FastIlu:
         self._u_skel = CsrMatrix.from_coo(
             rows_all[upper_mask], pind[upper_mask], np.zeros(int(upper_mask.sum())), (n, n)
         )
-        # diagonal position within U data per row
-        diag_pos = np.empty(n, dtype=np.int64)
-        for i in range(n):
-            lo = self._u_skel.indptr[i]
-            if (
-                lo == self._u_skel.indptr[i + 1]
-                or self._u_skel.indices[lo] != i
-            ):
-                raise ValueError(f"pattern misses the diagonal in row {i}")
-            diag_pos[i] = lo
-        self._diag_pos = diag_pos
+        # diagonal position within U data per row (vectorized scan)
+        self._diag_pos = _diag_positions(
+            self._u_skel.indptr, self._u_skel.indices
+        )
+        self._lower_idx = np.flatnonzero(lower_mask)
+        self._upper_idx = np.flatnonzero(upper_mask)
 
         # ---- expansion structure of L_strict @ U ----
         from repro.sparse.spgemm import _concat_ranges
@@ -166,6 +199,9 @@ class FastIlu:
         pos = np.searchsorted(pat_key, seg_keys)
         ok = (pos < pat_key.size) & (pat_key[np.minimum(pos, pat_key.size - 1)] == seg_keys)
         self._seg_entry = np.where(ok, pos, -1)
+        # scatter plan for the sweeps: segments landing inside S
+        self._seg_keep = np.flatnonzero(self._seg_entry >= 0)
+        self._seg_targets = self._seg_entry[self._seg_keep]
         # true fused-kernel work: only products landing inside S count (a
         # real FastILU sweep walks the L-row/U-column intersections; the
         # full expansion above is a numpy vectorization convenience)
@@ -233,47 +269,7 @@ class FastIlu:
         eng = get_engine()
         self.update_norms = []
         self.diverged = False
-        n_seg = self._seg_starts.size
-        for sweep in range(self.sweeps):
-            prods = l_vals[self._gather_l] * u_vals[self._gather_u]
-            sums = np.add.reduceat(prods, self._seg_starts) if n_seg else np.empty(0)
-            # scatter segment sums to S entries
-            c = np.zeros(pind.size, dtype=np.float64)
-            keep = self._seg_entry >= 0
-            c[self._seg_entry[keep]] = sums[keep]
-            c_l = c[lower_mask]
-            c_u = c[~lower_mask]
-            u_diag = u_vals[self._diag_pos]
-            if np.any(u_diag == 0):
-                bad = int(np.flatnonzero(u_diag == 0)[0])
-                raise PivotBreakdownError(
-                    f"zero pivot during FastILU sweep at row {bad}",
-                    index=bad,
-                    value=0.0,
-                    solver="fastilu",
-                )
-            # damped Jacobi update from the *previous* iterate; the
-            # undamped synchronous iteration can diverge on stiff
-            # elasticity blocks (the asynchronous GPU implementation
-            # behaves between Jacobi and Gauss-Seidel; damping is the
-            # FastILU knob listed in the paper's Table I)
-            # L: subtract the k=j term (included in the masked product)
-            new_l = (a_l - (c_l - l_vals * u_diag[l_cols])) / u_diag[l_cols]
-            new_u = a_u - c_u
-            w = self.damping
-            prev_l, prev_u = l_vals, u_vals
-            l_vals = (1.0 - w) * l_vals + w * new_l
-            u_vals = (1.0 - w) * u_vals + w * new_u
-            # divergence monitor: the damped update magnitude contracts
-            # for a converging iteration and grows geometrically on the
-            # stiff blocks where the synchronous sweeps diverge
-            self.update_norms.append(
-                float(np.linalg.norm(l_vals - prev_l))
-                + float(np.linalg.norm(u_vals - prev_u))
-            )
-            if eng is not None:
-                # fault injection (fastilu_divergence): amplify iterates
-                l_vals, u_vals = eng.fastilu_perturb(sweep, l_vals, u_vals)
+        l_vals, u_vals = self._run_sweeps(a_l, a_u, l_vals, u_vals, eng)
 
         growth_tol = eng.growth_tol if eng is not None else 10.0
         self.diverged = sweep_divergence(self.update_norms, growth_tol)
@@ -305,6 +301,68 @@ class FastIlu:
                 parallelism=float(pind.size),
             )
         return self
+
+    # ------------------------------------------------------------------
+    def _run_sweeps(self, a_l, a_u, l_vals, u_vals, eng):
+        """The Jacobi sweep loop, routed through the ambient backend.
+
+        One sweep is two flat gathers, one segmented reduction, one
+        scatter and the damped elementwise update -- the fused-kernel
+        shape.  The numpy path is bit-identical to the pre-refactor
+        inline sweeps; other backends sync a scalar per sweep for the
+        pivot-breakdown check (documented tolerance, not bit-identity).
+        """
+        bk = get_backend()
+        a_l = bk.asarray(a_l)
+        a_u = bk.asarray(a_u)
+        l_vals = bk.asarray(l_vals)
+        u_vals = bk.asarray(u_vals)
+        l_cols = self._l_skel.indices
+        n_seg = self._seg_starts.size
+        w = self.damping
+        for sweep in range(self.sweeps):
+            prods = bk.take(l_vals, self._gather_l) * bk.take(u_vals, self._gather_u)
+            sums = bk.segment_sum(prods, self._seg_starts) if n_seg else bk.zeros(0)
+            # scatter segment sums to S entries
+            c = bk.zeros(self._pind.size, dtype=np.float64)
+            bk.put(c, self._seg_targets, bk.take(sums, self._seg_keep))
+            c_l = bk.take(c, self._lower_idx)
+            c_u = bk.take(c, self._upper_idx)
+            u_diag = bk.take(u_vals, self._diag_pos)
+            u_diag_host = u_diag if bk.is_numpy else bk.to_numpy(u_diag)
+            if np.any(u_diag_host == 0):  # backend-ok: host breakdown check
+                bad = int(np.flatnonzero(u_diag_host == 0)[0])  # backend-ok
+                raise PivotBreakdownError(
+                    f"zero pivot during FastILU sweep at row {bad}",
+                    index=bad,
+                    value=0.0,
+                    solver="fastilu",
+                )
+            # damped Jacobi update from the *previous* iterate; the
+            # undamped synchronous iteration can diverge on stiff
+            # elasticity blocks (the asynchronous GPU implementation
+            # behaves between Jacobi and Gauss-Seidel; damping is the
+            # FastILU knob listed in the paper's Table I)
+            # L: subtract the k=j term (included in the masked product)
+            ud_l = bk.take(u_diag, l_cols)
+            new_l = (a_l - (c_l - l_vals * ud_l)) / ud_l
+            new_u = a_u - c_u
+            prev_l, prev_u = l_vals, u_vals
+            l_vals = (1.0 - w) * l_vals + w * new_l
+            u_vals = (1.0 - w) * u_vals + w * new_u
+            # divergence monitor: the damped update magnitude contracts
+            # for a converging iteration and grows geometrically on the
+            # stiff blocks where the synchronous sweeps diverge
+            self.update_norms.append(
+                bk.norm(l_vals - prev_l) + bk.norm(u_vals - prev_u)
+            )
+            if eng is not None:
+                # fault injection (fastilu_divergence): amplify iterates
+                pl, pu = eng.fastilu_perturb(
+                    sweep, bk.to_numpy(l_vals), bk.to_numpy(u_vals)
+                )
+                l_vals, u_vals = bk.asarray(pl), bk.asarray(pu)
+        return bk.to_numpy(l_vals), bk.to_numpy(u_vals)
 
     # ------------------------------------------------------------------
     def residual_norm(self, a: CsrMatrix) -> float:

@@ -59,7 +59,8 @@ def cg(
     from ``on_residual`` stops the solve with ``status="breakdown"``
     and rolls the iterate back to the last finite one.
     """
-    from repro.krylov.gmres import _as_apply, _deprecated_reducer_warning
+    from repro.backend import get_backend
+    from repro.krylov.gmres import _as_apply, _bk_apply, _deprecated_reducer_warning
 
     apply_a = _as_apply(a)
     if preconditioner is not None and hasattr(preconditioner, "apply"):
@@ -73,14 +74,20 @@ def cg(
         _deprecated_reducer_warning("cg")
         red = reducer
 
-    b = np.asarray(b, dtype=np.float64)
-    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    bk = get_backend(b)
+    apply_a = _bk_apply(apply_a, bk)
+    apply_m = _bk_apply(apply_m, bk)
+    b = bk.astype(bk.asarray(b), np.float64)
+    if x0 is None:
+        x = bk.zeros(b.shape[0], dtype=np.float64)
+    else:
+        x = bk.astype(bk.copy(bk.asarray(x0)), np.float64)
     with tr.span("krylov/spmv"):
         r = b - apply_a(x)
     z = apply_m(r)
-    p = z.copy()
-    rz = float(red.allreduce(r @ z)[0])
-    r0 = float(np.sqrt(red.allreduce(r @ r)[0]))
+    p = bk.copy(z)
+    rz = float(red.allreduce(float(bk.dot(r, z)))[0])
+    r0 = float(np.sqrt(red.allreduce(float(bk.dot(r, r)))[0]))  # backend-ok: host scalar
     residuals = [r0]
     if r0 == 0.0:
         return CgResult(
@@ -93,8 +100,8 @@ def cg(
     while it < maxiter:
         with tr.span("krylov/spmv"):
             ap = apply_a(p)
-        pap = float(red.allreduce(p @ ap)[0])
-        if not np.isfinite(pap):
+        pap = float(red.allreduce(float(bk.dot(p, ap)))[0])
+        if not np.isfinite(pap):  # backend-ok: host scalar check
             breakdown_reason = "nonfinite"
             break
         if pap <= 0.0:
@@ -106,21 +113,21 @@ def cg(
         r = r - alpha * ap
         it += 1
         if callback is not None:
-            callback(it, x)
-        rn = float(np.sqrt(red.allreduce(r @ r)[0]))
+            callback(it, bk.to_numpy(x))
+        rn = float(np.sqrt(red.allreduce(float(bk.dot(r, r)))[0]))  # backend-ok: host scalar
         residuals.append(rn)
         if guard is not None:
             reason = guard.on_residual(it, rn)
             if reason is not None:
                 breakdown_reason = reason
-                if not np.all(np.isfinite(x)):
+                if not bk.all_finite(x):
                     x = x_prev  # roll back to the last finite iterate
                 break
         if rn <= rtol * r0:
             converged = True
             break
         z = apply_m(r)
-        rz_new = float(red.allreduce(r @ z)[0])
+        rz_new = float(red.allreduce(float(bk.dot(r, z)))[0])
         beta = rz_new / rz
         rz = rz_new
         p = z + beta * p

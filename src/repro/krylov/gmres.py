@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.krylov.reduce import ReduceCounter
 from repro.krylov.status import SolveStatus
 from repro.obs import get_tracer
@@ -106,6 +107,21 @@ def _as_apply(op: Optional[Operator]):
     return op.matvec
 
 
+def _bk_apply(f, bk):
+    """Wrap an operator application for backend-routed Krylov loops.
+
+    Operators and preconditioners are host-facing (CSR matvec routes
+    itself; arbitrary callables expect numpy), so the wrapper hands them
+    a host array and lifts the result back to the solve's backend.  On
+    the numpy backend both conversions are identities, preserving
+    bit-identity; on other backends this is the documented host
+    round-trip per operator application.
+    """
+    if bk.is_numpy:
+        return f
+    return lambda v: bk.asarray(f(bk.to_numpy(v)))
+
+
 def gmres(
     a: Operator,
     b: np.ndarray,
@@ -180,13 +196,19 @@ def gmres(
         _deprecated_reducer_warning("gmres")
         red = reducer
 
-    b = np.asarray(b, dtype=np.float64)
-    n = b.size
-    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    bk = get_backend(b)
+    apply_a = _bk_apply(apply_a, bk)
+    apply_m = _bk_apply(apply_m, bk)
+    b = bk.astype(bk.asarray(b), np.float64)
+    n = b.shape[0]
+    if x0 is None:
+        x = bk.zeros(n, dtype=np.float64)
+    else:
+        x = bk.astype(bk.copy(bk.asarray(x0)), np.float64)
 
     with tr.span("krylov/spmv"):
         r = b - apply_a(x)
-    beta0 = float(np.sqrt(red.allreduce(r @ r)[0]))
+    beta0 = float(np.sqrt(red.allreduce(float(bk.dot(r, r)))[0]))
     residuals = [beta0]
     if beta0 == 0.0:
         return GmresResult(
@@ -204,13 +226,14 @@ def gmres(
         cycles += 1
         with tr.span("krylov/spmv"):
             r = b - apply_a(x)
-        beta = float(np.sqrt(red.allreduce(r @ r)[0]))
+        beta = float(np.sqrt(red.allreduce(float(bk.dot(r, r)))[0]))
         if beta <= tol_abs:
             converged = True
             break
         m = min(restart, maxiter - total_iters)
-        v = np.empty((m + 1, n))
-        z = np.empty((m, n))  # preconditioned directions, for the update
+        v = bk.empty((m + 1, n), dtype=np.float64)
+        z = bk.empty((m, n), dtype=np.float64)  # preconditioned directions
+        # host least-squares state (Hessenberg + Givens) stays numpy
         h = np.zeros((m + 1, m))
         cs = np.zeros(m)
         sn = np.zeros(m)
@@ -272,7 +295,7 @@ def gmres(
             y = np.zeros(j_used)
             for i in range(j_used - 1, -1, -1):
                 y[i] = (g[i] - h[i, i + 1 : j_used] @ y[i + 1 :]) / h[i, i]
-            x = x + z[:j_used].T @ y
+            x = x + bk.gemv(z[:j_used].T, bk.asarray(y))
         true_norm = None
         if converged:
             # explicit residual test (Belos-style): the recurrence
@@ -280,13 +303,13 @@ def gmres(
             # against the true residual and keep iterating on failure.
             with tr.span("krylov/spmv"):
                 r = b - apply_a(x)
-            true_norm = float(np.sqrt(red.allreduce(r @ r)[0]))
+            true_norm = float(np.sqrt(red.allreduce(float(bk.dot(r, r)))[0]))
             true_residuals.append((total_iters, true_norm))
             converged = true_norm <= tol_abs * (1 + 1e-12)
         if observer is not None:
             observer.on_cycle(
-                basis=v[: j_used + 1],
-                x=x,
+                basis=bk.to_numpy(v[: j_used + 1]),
+                x=bk.to_numpy(x),
                 estimate=abs(g[j_used]) if j_used else beta,
                 true_norm=true_norm,
             )
@@ -336,24 +359,27 @@ def _orthogonalize(
     stateless call behaves like the first iteration of a cycle.
     """
     jp1 = v.shape[0]
+    bk = get_backend(w)
     if variant == "mgs":
-        h = np.empty(jp1)
+        h = np.empty(jp1)  # backend-ok: host projection coefficients
         for i in range(jp1):
-            h[i] = red.allreduce(v[i] @ w)[0]
+            h[i] = red.allreduce(float(bk.dot(v[i], w)))[0]
             w = w - h[i] * v[i]
-        hnext = float(np.sqrt(red.allreduce(w @ w)[0]))
+        hnext = float(np.sqrt(red.allreduce(float(bk.dot(w, w)))[0]))  # backend-ok: host scalar
         return h, hnext, w
     if variant == "cgs":
-        h = red.allreduce(v @ w).copy()
-        w = w - v.T @ h
-        hnext = float(np.sqrt(red.allreduce(w @ w)[0]))
+        h = red.allreduce(bk.to_numpy(bk.dot(v, w))).copy()
+        w = w - bk.gemv(v.T, bk.asarray(h))
+        hnext = float(np.sqrt(red.allreduce(float(bk.dot(w, w)))[0]))  # backend-ok: host scalar
         return h, hnext, w
     # single_reduce: batch projections and the squared norm in ONE reduce
-    payload = np.concatenate([v @ w, [w @ w]])
+    payload = np.concatenate(  # backend-ok: host reduction payload
+        [bk.to_numpy(bk.dot(v, w)), [float(bk.dot(w, w))]]
+    )
     payload = red.allreduce(payload)
     h = payload[:jp1].copy()
     wtw = payload[jp1]
-    w = w - v.T @ h
+    w = w - bk.gemv(v.T, bk.asarray(h))
     # lagged (Pythagorean) norm: ||w_orth||^2 = ||w||^2 - ||h||^2
     est = wtw - float(h @ h)
     if state is None:
@@ -373,16 +399,18 @@ def _orthogonalize(
     gamma = state["gamma"] * max(amp, 1.0) ** 2
     if est > 0.0 and gamma <= _ORTHO_LOSS_BUDGET:
         state["gamma"] = gamma
-        return h, float(np.sqrt(est)), w
+        return h, float(np.sqrt(est)), w  # backend-ok: host scalar
     # selective reorthogonalization: a second batched pass restores
     # MGS-level stability (and resets the error tracking) at the price
     # of one extra reduce in these iterations.
     state["gamma"] = _ORTHO_EPS
-    payload = np.concatenate([v @ w, [w @ w]])
+    payload = np.concatenate(  # backend-ok: host reduction payload
+        [bk.to_numpy(bk.dot(v, w)), [float(bk.dot(w, w))]]
+    )
     payload = red.allreduce(payload)
     h2 = payload[:jp1]
     wtw2 = payload[jp1]
-    w = w - v.T @ h2
+    w = w - bk.gemv(v.T, bk.asarray(h2))
     h = h + h2
     est2 = wtw2 - float(h2 @ h2)
     if est2 <= 0.0:
@@ -390,7 +418,7 @@ def _orthogonalize(
         # (tiny but real) new direction survives: reporting hnext = 0
         # here would read as a lucky breakdown and end the cycle early.
         # Pay one explicit norm reduction to distinguish the two cases.
-        hnext = float(np.sqrt(red.allreduce(w @ w)[0]))
+        hnext = float(np.sqrt(red.allreduce(float(bk.dot(w, w)))[0]))  # backend-ok: host scalar
     else:
-        hnext = float(np.sqrt(est2))
+        hnext = float(np.sqrt(est2))  # backend-ok: host scalar
     return h, hnext, w

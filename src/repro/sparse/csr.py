@@ -1,9 +1,13 @@
 """Compressed-sparse-row (CSR) matrices.
 
-The central storage format of the package.  All kernels are vectorized
-numpy; no scipy is used.  The class is deliberately small and explicit --
-the factorizations, triangular solves and Schwarz operators are built on
-top of it rather than hidden inside it.
+The central storage format of the package.  The structure arrays
+(``indptr``/``indices``) are host numpy; the value kernels (SpMV,
+SpMM, transpose product) are routed through the pluggable
+:mod:`repro.backend` array API, with numpy as the bit-identical
+default and torch activating on tensor operands or under
+``use_backend("torch")``.  The class is deliberately small and
+explicit -- the factorizations, triangular solves and Schwarz
+operators are built on top of it rather than hidden inside it.
 """
 
 from __future__ import annotations
@@ -11,6 +15,8 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.backend import check_out_dtype, get_backend
 
 __all__ = ["CsrMatrix", "eye", "diags"]
 
@@ -36,7 +42,10 @@ class CsrMatrix:
     ILU symbolic phase) and by :meth:`sorted_index_of`.
     """
 
-    __slots__ = ("indptr", "indices", "data", "shape")
+    __slots__ = (
+        "indptr", "indices", "data", "shape",
+        "_rows_cache", "_spmv_plan", "_diag_plan",
+    )
 
     def __init__(
         self,
@@ -49,6 +58,12 @@ class CsrMatrix:
         self.indices = np.asarray(indices, dtype=np.int64)
         self.data = np.asarray(data)
         self.shape = (int(shape[0]), int(shape[1]))
+        # structure-derived plans, built on first use (the structure
+        # arrays are never mutated in place, so the plans stay valid
+        # for the object's lifetime; see expanded_rows)
+        self._rows_cache: Optional[np.ndarray] = None
+        self._spmv_plan: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._diag_plan: Optional[Tuple[np.ndarray, np.ndarray]] = None
         if self.indptr.ndim != 1 or self.indptr.size != self.shape[0] + 1:
             raise ValueError("indptr must have length n_rows + 1")
         if self.indices.shape != self.data.shape:
@@ -135,6 +150,40 @@ class CsrMatrix:
         """Per-row entry counts."""
         return np.diff(self.indptr)
 
+    def expanded_rows(self) -> np.ndarray:
+        """The row index of every stored entry (COO row expansion).
+
+        Cached: the pre-refactor kernels rebuilt
+        ``np.repeat(arange(n_rows), row_nnz())`` on every
+        ``diagonal()``/``todense()``/``rmatvec()`` call, which made
+        per-iteration diagonal extraction (FastILU/Jacobi setup over a
+        solve sequence) quadratic in solve count.  Treat as read-only.
+        """
+        if self._rows_cache is None:
+            self._rows_cache = np.repeat(
+                np.arange(self.n_rows, dtype=np.int64), self.row_nnz()
+            )
+        return self._rows_cache
+
+    def _spmv_segments(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(nonempty_rows, segment_starts)`` SpMV plan."""
+        if self._spmv_plan is None:
+            nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
+            self._spmv_plan = (nonempty, self.indptr[nonempty])
+        return self._spmv_plan
+
+    def _diag_positions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(rows_with_diag, entry_positions)`` diagonal plan."""
+        if self._diag_plan is None:
+            n = min(self.shape)
+            rows = self.expanded_rows()
+            mask = rows == self.indices
+            entry_pos = np.flatnonzero(mask)
+            out_rows = rows[entry_pos]
+            sel = out_rows < n
+            self._diag_plan = (out_rows[sel], entry_pos[sel])
+        return self._diag_plan
+
     def copy(self) -> "CsrMatrix":
         """Deep copy."""
         return CsrMatrix(
@@ -164,23 +213,21 @@ class CsrMatrix:
         return self.indices[lo:hi], self.data[lo:hi]
 
     def diagonal(self) -> np.ndarray:
-        """Main-diagonal values (zeros where the diagonal is not stored)."""
-        n = min(self.shape)
-        out = np.zeros(n, dtype=self.dtype)
-        rows = np.repeat(
-            np.arange(self.n_rows, dtype=np.int64), self.row_nnz()
-        )
-        mask = rows == self.indices
-        out_rows = rows[mask]
-        sel = out_rows < n
-        out[out_rows[sel]] = self.data[mask][sel]
+        """Main-diagonal values (zeros where the diagonal is not stored).
+
+        A cached structure plan makes repeated extraction (per-iteration
+        Jacobi/FastILU setup) a single gather instead of a full COO
+        re-expansion per call.
+        """
+        out = np.zeros(min(self.shape), dtype=self.dtype)
+        out_rows, entry_pos = self._diag_positions()
+        out[out_rows] = self.data[entry_pos]
         return out
 
     def todense(self) -> np.ndarray:
         """Materialize as a dense ndarray."""
         out = np.zeros(self.shape, dtype=self.dtype)
-        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
-        out[rows, self.indices] = self.data
+        out[self.expanded_rows(), self.indices] = self.data
         return out
 
     # ------------------------------------------------------------------
@@ -189,34 +236,59 @@ class CsrMatrix:
     def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
         """Sparse matrix--vector product ``A @ x``.
 
-        Vectorized via a gather followed by a segmented reduction
-        (``np.add.reduceat``), which is the numpy analogue of the
-        row-parallel CSR SpMV kernel.
+        A gather followed by a segmented reduction -- the array-API
+        analogue of the row-parallel CSR SpMV kernel, routed through
+        :func:`repro.backend.get_backend` (numpy default,
+        bit-identical; torch on tensor operands).
+
+        The product is computed and returned in the promoted dtype
+        ``result_type(A.dtype, x.dtype)``.  An ``out=`` buffer that
+        cannot hold that dtype losslessly raises ``TypeError`` instead
+        of silently truncating (the float32-buffer downcast bug of the
+        half-precision operator path).
         """
-        x = np.asarray(x)
-        prods = self.data * x[self.indices]
-        result_dtype = prods.dtype if prods.size else np.result_type(self.dtype, x.dtype)
+        bk = get_backend(x)
+        x = bk.asarray(x)
+        result_dtype = bk.result_type(self.dtype, x)
+        if out is not None:
+            if not bk.owns(out):
+                raise TypeError(
+                    "CsrMatrix.matvec: out buffer must belong to the "
+                    f"operand's backend ({bk.name})"
+                )
+            check_out_dtype(bk.dtype_of(out), result_dtype, "CsrMatrix.matvec")
+        prods = bk.asarray(self.data) * bk.take(x, self.indices)
+        acc = bk.astype(prods, result_dtype)
         if out is None:
-            out = np.zeros(self.n_rows, dtype=result_dtype)
+            out = bk.zeros(self.n_rows, dtype=result_dtype)
         else:
             out[:] = 0
         if self.nnz == 0:
             return out
-        nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
+        nonempty, starts = self._spmv_segments()
         if nonempty.size:
-            out[nonempty] = np.add.reduceat(prods, self.indptr[nonempty])
+            bk.put(out, nonempty, bk.segment_sum(acc, starts))
         return out
 
     def matmat(self, x: np.ndarray) -> np.ndarray:
-        """Sparse matrix--dense matrix product ``A @ X`` for 2-D ``X``."""
-        x = np.asarray(x)
+        """Sparse matrix--dense matrix product ``A @ X`` for 2-D ``X``.
+
+        Returns the promoted dtype ``result_type(A.dtype, X.dtype)``
+        regardless of the stored-entry count; the pre-fix kernel read
+        the dtype off an empty product array, which yields float64 for
+        a zero-nnz matrix whatever the operand dtypes -- the block
+        GMRES/CG deflated-shard inconsistency with :meth:`matvec`.
+        """
+        bk = get_backend(x)
+        x = bk.asarray(x)
         if x.ndim == 1:
             return self.matvec(x)
-        prods = self.data[:, None] * x[self.indices, :]
-        out = np.zeros((self.n_rows, x.shape[1]), dtype=prods.dtype)
-        nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
+        result_dtype = bk.result_type(self.dtype, x)
+        prods = bk.asarray(self.data)[:, None] * bk.take(x, self.indices)
+        out = bk.zeros((self.n_rows, x.shape[1]), dtype=result_dtype)
+        nonempty, starts = self._spmv_segments()
         if nonempty.size:
-            out[nonempty] = np.add.reduceat(prods, self.indptr[nonempty], axis=0)
+            bk.put(out, nonempty, bk.segment_sum(bk.astype(prods, result_dtype), starts, axis=0))
         return out
 
     def __matmul__(self, other):
@@ -228,10 +300,12 @@ class CsrMatrix:
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         """Transpose product ``A.T @ y`` without forming the transpose."""
-        y = np.asarray(y)
-        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
-        out = np.zeros(self.n_cols, dtype=np.result_type(self.dtype, y.dtype))
-        np.add.at(out, self.indices, self.data * y[rows])
+        bk = get_backend(y)
+        y = bk.asarray(y)
+        out = bk.zeros(self.n_cols, dtype=bk.result_type(self.dtype, y))
+        bk.scatter_add_into(
+            out, self.indices, bk.asarray(self.data) * bk.take(y, self.expanded_rows())
+        )
         return out
 
     def transpose(self) -> "CsrMatrix":
@@ -240,9 +314,11 @@ class CsrMatrix:
         indptr_t = np.zeros(n_cols + 1, dtype=np.int64)
         np.add.at(indptr_t, self.indices + 1, 1)
         np.cumsum(indptr_t, out=indptr_t)
-        rows = np.repeat(np.arange(n_rows, dtype=np.int64), self.row_nnz())
         order = np.argsort(self.indices, kind="stable")
-        return CsrMatrix(indptr_t, rows[order], self.data[order], (n_cols, n_rows))
+        return CsrMatrix(
+            indptr_t, self.expanded_rows()[order], self.data[order],
+            (n_cols, n_rows),
+        )
 
     @property
     def T(self) -> "CsrMatrix":
@@ -289,7 +365,7 @@ class CsrMatrix:
     def eliminate_zeros(self, tol: float = 0.0) -> "CsrMatrix":
         """Drop stored entries with ``|a_ij| <= tol``."""
         keep = np.abs(self.data) > tol
-        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
+        rows = self.expanded_rows()
         indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
         np.add.at(indptr, rows[keep] + 1, 1)
         np.cumsum(indptr, out=indptr)
@@ -322,8 +398,7 @@ class CsrMatrix:
         """Maximum ``|i - j|`` over stored entries (0 for empty matrices)."""
         if self.nnz == 0:
             return 0
-        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
-        return int(np.max(np.abs(rows - self.indices)))
+        return int(np.max(np.abs(self.expanded_rows() - self.indices)))
 
 
 def eye(n: int, dtype=np.float64) -> CsrMatrix:

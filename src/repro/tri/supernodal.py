@@ -20,31 +20,21 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.machine.kernels import KernelProfile
 
 __all__ = ["detect_supernodes", "SupernodalTriangular"]
 
 
-def detect_supernodes(
+def _detect_supernodes_reference(
     l_indptr: np.ndarray,
     l_indices: np.ndarray,
     max_width: int = 64,
 ) -> np.ndarray:
-    """Find fundamental supernodes of a lower-triangular CSC pattern.
+    """The seed column-at-a-time detector (executable spec + bench baseline).
 
-    Column ``j+1`` joins ``j``'s supernode when
-    ``struct(L(:, j+1)) == struct(L(:, j)) \\ {j}`` (identical structure
-    after dropping the pivot row).  Returns ``sn_ptr`` with supernode
-    ``s`` spanning columns ``[sn_ptr[s], sn_ptr[s+1])``.
-
-    Parameters
-    ----------
-    l_indptr, l_indices:
-        CSC pattern of ``L`` with sorted row indices including the
-        diagonal.
-    max_width:
-        Split supernodes wider than this (bounds frontal memory, and on
-        the GPU bounds the team size).
+    O(n) python-loop formulation; :func:`detect_supernodes` must match
+    it bit for bit.
     """
     n = l_indptr.size - 1
     boundaries = [0]
@@ -65,6 +55,69 @@ def detect_supernodes(
             width = 1
     boundaries.append(n)
     return np.asarray(boundaries, dtype=np.int64)
+
+
+def detect_supernodes(
+    l_indptr: np.ndarray,
+    l_indices: np.ndarray,
+    max_width: int = 64,
+) -> np.ndarray:
+    """Find fundamental supernodes of a lower-triangular CSC pattern.
+
+    Column ``j+1`` joins ``j``'s supernode when
+    ``struct(L(:, j+1)) == struct(L(:, j)) \\ {j}`` (identical structure
+    after dropping the pivot row).  Returns ``sn_ptr`` with supernode
+    ``s`` spanning columns ``[sn_ptr[s], sn_ptr[s+1])``.
+
+    Vectorized: the per-column chain predicate becomes three mask
+    comparisons plus one flat segment-equality pass (gather both column
+    patterns with the spgemm cumsum trick, count mismatches per
+    candidate with a bincount); the ``max_width`` split falls out of
+    each column's position inside its structural run.  Exactly equal to
+    :func:`_detect_supernodes_reference`.
+
+    Parameters
+    ----------
+    l_indptr, l_indices:
+        CSC pattern of ``L`` with sorted row indices including the
+        diagonal.
+    max_width:
+        Split supernodes wider than this (bounds frontal memory, and on
+        the GPU bounds the team size).
+    """
+    from repro.sparse.spgemm import _concat_ranges
+
+    n = l_indptr.size - 1
+    if n <= 0:
+        return np.asarray([0, n] if n == 0 else [0], dtype=np.int64)
+    indptr = np.asarray(l_indptr, dtype=np.int64)
+    counts = np.diff(indptr)
+    # chain[j] (j >= 1): column j structurally continues column j-1
+    chain = np.zeros(n, dtype=bool)
+    js = np.arange(1, n)
+    cand = (counts[js - 1] == counts[js] + 1) & (
+        l_indices[indptr[js - 1]] == js - 1
+    )
+    cj = js[cand]
+    if cj.size:
+        seg_len = counts[cj]
+        a_idx = _concat_ranges(indptr[cj - 1] + 1, seg_len)
+        b_idx = _concat_ranges(indptr[cj], seg_len)
+        seg_id = np.repeat(np.arange(cj.size, dtype=np.int64), seg_len)
+        mism = np.bincount(
+            seg_id,
+            weights=(l_indices[a_idx] != l_indices[b_idx]),
+            minlength=cj.size,
+        )
+        chain[cj] = mism == 0
+    # structural runs; a run of length R splits every max_width columns
+    is_start = ~chain
+    is_start[0] = True
+    starts = np.flatnonzero(is_start)
+    run_id = np.cumsum(is_start) - 1
+    pos_in_run = np.arange(n, dtype=np.int64) - starts[run_id]
+    boundary = is_start | (pos_in_run % max_width == 0)
+    return np.append(np.flatnonzero(boundary), n).astype(np.int64)
 
 
 class SupernodalTriangular:
@@ -142,42 +195,45 @@ class SupernodalTriangular:
 
     # ------------------------------------------------------------------
     def solve_forward(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``L x = b`` (1-D or 2-D ``b``)."""
-        from scipy.linalg import solve_triangular
+        """Solve ``L x = b`` (1-D or 2-D ``b``).
 
-        x = np.array(b, dtype=np.result_type(self.dtype, np.asarray(b).dtype), copy=True)
+        Routed through the array backend of ``b`` (dense triangular
+        solve + panel GEMV per supernode); the numpy path issues the
+        identical LAPACK/BLAS calls as before the backend refactor.
+        """
+        bk = get_backend(b)
+        b = bk.asarray(b)
+        x = bk.astype(bk.copy(b), bk.result_type(self.dtype, b))
         for lv in range(self.n_levels):
             for s in self._level_sns[lv]:
                 c0, c1 = self.sn_ptr[s], self.sn_ptr[s + 1]
                 w = c1 - c0
-                blk = self.blocks[s]
-                xs = solve_triangular(
-                    blk[:w], x[c0:c1], lower=True, unit_diagonal=self.unit_diagonal,
-                    check_finite=False,
+                blk = bk.asarray(self.blocks[s])
+                xs = bk.solve_triangular(
+                    blk[:w], x[c0:c1], lower=True, unit_diagonal=self.unit_diagonal
                 )
                 x[c0:c1] = xs
                 rb = self.rows_below[s]
                 if rb.size:
-                    x[rb] -= blk[w:] @ xs
+                    x[rb] -= bk.gemv(blk[w:], xs)
         return x
 
     def solve_backward(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``L^T x = b`` (1-D or 2-D ``b``)."""
-        from scipy.linalg import solve_triangular
-
-        x = np.array(b, dtype=np.result_type(self.dtype, np.asarray(b).dtype), copy=True)
+        """Solve ``L^T x = b`` (1-D or 2-D ``b``); backend-routed."""
+        bk = get_backend(b)
+        b = bk.asarray(b)
+        x = bk.astype(bk.copy(b), bk.result_type(self.dtype, b))
         for lv in range(self.n_levels - 1, -1, -1):
             for s in self._level_sns[lv]:
                 c0, c1 = self.sn_ptr[s], self.sn_ptr[s + 1]
                 w = c1 - c0
-                blk = self.blocks[s]
+                blk = bk.asarray(self.blocks[s])
                 rhs = x[c0:c1]
                 rb = self.rows_below[s]
                 if rb.size:
-                    rhs = rhs - blk[w:].T @ x[rb]
-                x[c0:c1] = solve_triangular(
-                    blk[:w].T, rhs, lower=False, unit_diagonal=self.unit_diagonal,
-                    check_finite=False,
+                    rhs = rhs - bk.gemv(blk[w:].T, bk.take(x, rb))
+                x[c0:c1] = bk.solve_triangular(
+                    blk[:w].T, rhs, lower=False, unit_diagonal=self.unit_diagonal
                 )
         return x
 

@@ -1,0 +1,83 @@
+"""The AST lint gate banning direct ``np.`` calls in routed kernels."""
+
+import ast
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOL = REPO_ROOT / "tools" / "check_backend_kernels.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_backend_kernels", TOOL)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _violations(mod, source, func_names=("kernel",)):
+    tree = ast.parse(source)
+    lines = source.splitlines()
+    errors = []
+    for fn in mod._iter_functions(tree):
+        if fn.name not in func_names:
+            continue
+        visitor = mod._KernelVisitor(fn.name, lines)
+        for stmt in fn.body:
+            visitor.visit(stmt)
+        errors.extend(visitor.violations)
+    return errors
+
+
+class TestVisitor:
+    def setup_method(self):
+        self.mod = _load_tool()
+
+    def test_flags_direct_numpy_call(self):
+        src = "def kernel(x):\n    return np.add.reduceat(x, s)\n"
+        errs = _violations(self.mod, src)
+        assert len(errs) == 1 and errs[0][1] == "np.add"
+
+    def test_pragma_line_is_allowed(self):
+        src = "def kernel(x):\n    return np.sqrt(x)  # backend-ok: host scalar\n"
+        assert _violations(self.mod, src) == []
+
+    def test_dtype_attributes_are_allowed(self):
+        src = (
+            "def kernel(bk):\n"
+            "    return bk.zeros(3, dtype=np.float64), np.inf, np.newaxis\n"
+        )
+        assert _violations(self.mod, src) == []
+
+    def test_ungated_function_is_ignored(self):
+        src = "def setup(x):\n    return np.argsort(x)\n"
+        assert _violations(self.mod, src) == []
+
+    def test_numpy_alias_also_flagged(self):
+        src = "def kernel(x):\n    return numpy.dot(x, x)\n"
+        errs = _violations(self.mod, src)
+        assert len(errs) == 1 and errs[0][1] == "numpy.dot"
+
+
+class TestRepoGate:
+    def test_gated_modules_exist(self):
+        mod = _load_tool()
+        for rel in mod.GATED:
+            assert (REPO_ROOT / rel).is_file(), rel
+
+    def test_repo_is_clean(self):
+        proc = subprocess.run(
+            [sys.executable, str(TOOL)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_missing_kernel_is_reported(self):
+        mod = _load_tool()
+        errors = mod.check_file("src/repro/sparse/csr.py", ("no_such_kernel",))
+        assert any("not found" in e for e in errors)

@@ -1,0 +1,80 @@
+"""Torch-backend parity (skipped when torch is not importable).
+
+The torch backend promises allclose-level agreement with numpy, not
+bit-identity (different reduction association on device kernels); these
+tests pin the tolerance contract from docs/performance.md.
+"""
+
+import numpy as np
+import pytest
+
+torch = pytest.importorskip("torch")
+
+from repro.backend import get_backend, resolve_backend, use_backend  # noqa: E402
+from repro.sparse.csr import CsrMatrix  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def bk():
+    return resolve_backend("torch")
+
+
+def small_csr():
+    d = np.array([[2.0, 0.0, 1.0], [0.0, 3.0, 0.0], [1.0, 0.0, 4.0]])
+    return CsrMatrix.from_dense(d)
+
+
+class TestDetection:
+    def test_tensor_operand_selects_torch(self, bk):
+        assert get_backend(torch.ones(3)) is bk
+
+    def test_ambient_torch_moves_numpy_operands(self, bk):
+        with use_backend("torch"):
+            assert get_backend(np.ones(3)) is bk
+
+    def test_round_trip(self, bk):
+        x = np.arange(5.0)
+        np.testing.assert_array_equal(bk.to_numpy(bk.asarray(x)), x)
+
+
+class TestKernelParity:
+    def test_matvec_parity(self, bk):
+        a = small_csr()
+        x = np.array([1.0, 2.0, 3.0])
+        y_np = a.matvec(x)
+        y_t = a.matvec(bk.asarray(x))
+        assert bk.owns(y_t)
+        np.testing.assert_allclose(bk.to_numpy(y_t), y_np, rtol=1e-14)
+
+    def test_segment_sum_parity(self, bk, rng):
+        vals = rng.standard_normal(50)
+        starts = np.array([0, 5, 9, 30])
+        np.testing.assert_allclose(
+            bk.to_numpy(bk.segment_sum(bk.asarray(vals), starts)),
+            np.add.reduceat(vals, starts),
+            rtol=1e-12,
+        )
+
+    def test_solve_triangular_parity(self, bk, rng):
+        a = np.tril(rng.standard_normal((5, 5))) + 5 * np.eye(5)
+        b = rng.standard_normal(5)
+        import scipy.linalg
+
+        np.testing.assert_allclose(
+            bk.to_numpy(bk.solve_triangular(bk.asarray(a), bk.asarray(b))),
+            scipy.linalg.solve_triangular(a, b, lower=True),
+            rtol=1e-12,
+        )
+
+
+class TestSolveParity:
+    def test_session_solve_under_torch(self):
+        from repro.api import SolverSession
+        from repro.fem import laplace_3d
+
+        problem = laplace_3d(5)
+        ref = SolverSession(problem, partition=(2, 1, 1)).solve()
+        res = SolverSession(problem, partition=(2, 1, 1), backend="torch").solve()
+        assert res.converged
+        assert isinstance(res.x, np.ndarray)  # results land back on host
+        np.testing.assert_allclose(res.x, ref.x, rtol=1e-6, atol=1e-9)
