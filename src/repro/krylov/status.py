@@ -12,7 +12,16 @@ now carries a :class:`SolveStatus`:
   iterate is the last finite one;
 * ``RECOVERED`` -- session-level only: the solve converged after one or
   more recovery actions (set by :class:`~repro.api.SolverSession`, never
-  by the raw solvers).
+  by the raw solvers);
+* ``SHED`` -- service-level only: the request was refused (at admission
+  or in queue) because its deadline was already unmeetable, its shard's
+  circuit breaker was open, or the service was over capacity -- a fast
+  honest rejection instead of a silently-late answer (set by
+  :class:`~repro.serve.service.SolverService`, never by the solvers);
+* ``FAILED`` -- service-level only: the batch executing this request
+  raised and the retry budget (if any) was exhausted; the drain
+  continued and the request got this terminal answer instead of being
+  stranded in flight.
 
 The enum mixes in ``str``: ``result.status == "converged"`` works, and
 the values serialize cleanly into benchmark records.
@@ -32,6 +41,8 @@ class SolveStatus(str, enum.Enum):
     MAXITER = "maxiter"
     BREAKDOWN = "breakdown"
     RECOVERED = "recovered"
+    SHED = "shed"
+    FAILED = "failed"
 
     def __str__(self) -> str:  # "converged", not "SolveStatus.CONVERGED"
         return self.value

@@ -30,12 +30,17 @@ Span taxonomy (the names the instrumented stack emits)::
     reuse/skip_setup     reuse/refactor       reuse/local_refactor
     reuse/extension_refactor  reuse/coarse_refactor  reuse/recycle
     serve/batch          serve/solve
+    serve/admit          serve/shed           serve/retry
+    serve/degrade
 
 Counters use fixed keys: ``flops``, ``bytes``, ``launches`` (from
 kernel profiles), ``reduces``, ``reduce_doubles`` (global reductions),
 ``messages``, ``bytes_sent`` (point-to-point traffic), and on the
 serving spans ``batch_width``, ``block_width`` and
 ``queue_wait_seconds`` (request queueing against the modeled clock).
+The SLO-guard spans count ``admitted``, ``shed``, ``retries`` and
+``degraded_batches``; ``serve/shed`` annotates the shed reason and
+``serve/degrade`` the ladder rungs and pressure that triggered them.
 """
 
 from __future__ import annotations

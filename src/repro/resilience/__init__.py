@@ -59,6 +59,7 @@ from repro.resilience.inject import (
 )
 from repro.resilience.policy import (
     ACTION_KINDS,
+    SERVICE_ACTION_KINDS,
     LadderState,
     RecoveryAction,
     RecoveryPolicy,
@@ -83,6 +84,7 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "ACTION_KINDS",
+    "SERVICE_ACTION_KINDS",
     "RecoveryAction",
     "LadderState",
     "RecoveryPolicy",

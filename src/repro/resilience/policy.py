@@ -34,7 +34,13 @@ from typing import List, Optional
 from repro.dd.local_solvers import LocalSolverSpec
 from repro.resilience.detect import DivergenceError, PivotBreakdownError
 
-__all__ = ["ACTION_KINDS", "RecoveryAction", "LadderState", "RecoveryPolicy"]
+__all__ = [
+    "ACTION_KINDS",
+    "SERVICE_ACTION_KINDS",
+    "RecoveryAction",
+    "LadderState",
+    "RecoveryPolicy",
+]
 
 #: every action kind the resilience subsystem can record; the final
 #: three are the rank-loss rung (process death is beyond any local
@@ -52,6 +58,19 @@ ACTION_KINDS = (
     "rank_shrink",
     "rank_respawn",
     "interpolated_restart",
+)
+
+#: the *service*-level rung above the solver ladder: what
+#: :mod:`repro.serve` does when whole batches fail or the queue outruns
+#: the deadlines.  Kept here so the solver and serving layers share one
+#: action taxonomy (docs/robustness.md tabulates both ladders together).
+SERVICE_ACTION_KINDS = (
+    "shed",
+    "retry_backoff",
+    "circuit_open",
+    "degrade_rtol",
+    "degrade_precision",
+    "degrade_one_level",
 )
 
 #: the fallback chain (rung above each solver kind)

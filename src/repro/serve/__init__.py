@@ -16,8 +16,15 @@ existing stack for them --
   protection;
 * :mod:`repro.serve.service` -- :class:`~repro.serve.service.SolverService`,
   the modeled-clock request loop;
+* :mod:`repro.serve.admission` -- streaming arrival timelines
+  (:class:`~repro.serve.admission.ArrivalTrace`), token-bucket
+  admission, deadline-aware load shedding;
+* :mod:`repro.serve.guard` -- per-shard circuit breakers, seeded-
+  backoff retries, the pressure-driven degradation ladder;
 * :mod:`repro.serve.bench` -- the tenant-count sweep behind
-  ``BENCH_serve.json`` (``python -m repro.serve --bench``).
+  ``BENCH_serve.json`` (``python -m repro.serve --bench``);
+* :mod:`repro.serve.overload` -- the overload chaos bench behind
+  ``BENCH_slo.json`` (``python -m repro.serve --overload``).
 
 Quick start::
 
@@ -35,19 +42,47 @@ Quick start::
               resp.batch_width, resp.latency_seconds)
 """
 
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Arrival,
+    ArrivalTrace,
+    ShardLoadEstimator,
+    TokenBucket,
+)
 from repro.serve.batcher import RequestBatch, RequestBatcher, shard_key
+from repro.serve.guard import (
+    CircuitBreaker,
+    DegradationDecision,
+    DegradationLadder,
+    GuardConfig,
+    OneLevelOperator,
+    RetryPolicy,
+)
 from repro.serve.pool import PooledSession, SessionPool
 from repro.serve.request import SolveRequest, SolveResponse
 from repro.serve.service import RegisteredOperator, SolverService
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "Arrival",
+    "ArrivalTrace",
+    "CircuitBreaker",
+    "DegradationDecision",
+    "DegradationLadder",
+    "GuardConfig",
+    "OneLevelOperator",
     "PooledSession",
     "RegisteredOperator",
     "RequestBatch",
     "RequestBatcher",
+    "RetryPolicy",
     "SessionPool",
+    "ShardLoadEstimator",
     "SolveRequest",
     "SolveResponse",
     "SolverService",
+    "TokenBucket",
     "shard_key",
 ]

@@ -1,4 +1,14 @@
-"""CLI entry: ``python -m repro.serve --bench`` runs the serving bench."""
+"""CLI entry: the serving benches.
+
+* ``python -m repro.serve --bench`` -- the fair-weather tenant-count
+  sweep (``BENCH_serve.json``);
+* ``python -m repro.serve --overload`` -- the overload chaos bench
+  (``BENCH_slo.json``): seeded arrival traces at 1--16x capacity with
+  injected faults, guarded vs unguarded arms.
+
+``--seed`` seeds either bench; ``--json`` suppresses the human-readable
+summary so stdout is pure JSON.
+"""
 
 from __future__ import annotations
 
@@ -7,53 +17,123 @@ import json
 import sys
 
 from repro.serve.bench import run_serve_bench
+from repro.serve.overload import run_overload_bench
 
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.serve",
-        description="multi-tenant serving benchmark (BENCH_serve.json)",
+        description="multi-tenant serving benchmarks (BENCH_serve.json / "
+                    "BENCH_slo.json)",
     )
-    ap.add_argument(
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
         "--bench", action="store_true",
-        help="run the tenant-count sweep (the only mode; kept explicit "
-             "so the invocation reads as a benchmark, not a server)",
+        help="run the tenant-count sweep (BENCH_serve.json)",
+    )
+    mode.add_argument(
+        "--overload", action="store_true",
+        help="run the overload chaos bench: guarded vs unguarded serving "
+             "under seeded traces at 1-16x capacity with injected faults "
+             "(BENCH_slo.json)",
     )
     ap.add_argument("--out", default=None, help="write the JSON report here")
     ap.add_argument(
-        "--tenants", type=int, nargs="+", default=[1, 2, 4, 8],
-        help="tenant counts to sweep",
+        "--seed", type=int, default=None,
+        help="bench seed (default: 7 for --bench, matching the committed "
+             "BENCH_serve.json; 0 for --overload)",
     )
     ap.add_argument(
-        "--elements", type=int, default=6, help="elements per axis"
+        "--json", action="store_true",
+        help="emit only the JSON report on stdout (no summary lines)",
+    )
+    ap.add_argument(
+        "--tenants", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="tenant counts to sweep (--bench)",
+    )
+    ap.add_argument(
+        "--elements", type=int, default=None,
+        help="elements per axis (default: 6 for --bench, 5 for --overload)",
+    )
+    ap.add_argument(
+        "--requests", type=int, default=96,
+        help="requests per trace (--overload)",
+    )
+    ap.add_argument(
+        "--fault-rate", type=float, default=0.25,
+        help="injected transient-fault probability per batch (--overload)",
     )
     args = ap.parse_args(argv)
-    if not args.bench:
-        ap.error("pass --bench to run the serving benchmark")
 
-    report = run_serve_bench(
-        tenant_counts=args.tenants, elements=args.elements
-    )
+    if args.overload:
+        report = run_overload_bench(
+            n_requests=args.requests,
+            seed=0 if args.seed is None else args.seed,
+            elements=5 if args.elements is None else args.elements,
+            fault_rate=args.fault_rate,
+        )
+    else:
+        report = run_serve_bench(
+            tenant_counts=args.tenants,
+            elements=6 if args.elements is None else args.elements,
+            seed=7 if args.seed is None else args.seed,
+        )
+
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
     print(text)
-    for t, rec in sorted(report["tenants"].items(), key=lambda kv: int(kv[0])):
-        m = rec["modes"]
-        print(
-            f"[serve] t={t:>2s}: unbatched {m['unbatched']['requests_per_second']:.2f} "
-            f"req/s, concurrent {m['concurrent']['requests_per_second']:.2f}, "
-            f"batched {m['batched']['requests_per_second']:.2f} "
-            f"(p99 {m['batched']['p99_latency_seconds']:.3e}s)",
-            file=sys.stderr,
-        )
+
+    if not args.json:
+        if args.overload:
+            for m, arms in sorted(
+                report["multipliers"].items(), key=lambda kv: float(kv[0])
+            ):
+                g, u = arms["guarded"], arms["unguarded"]
+                print(
+                    f"[slo] x{m:>2s}: violations guarded "
+                    f"{g['slo_violation_rate']:.2f} vs unguarded "
+                    f"{u['slo_violation_rate']:.2f}; goodput "
+                    f"{g['goodput_rps']:.2f} vs {u['goodput_rps']:.2f} "
+                    f"req/s; shed {g['shed_rate']:.2f}; retries "
+                    f"{g['retries']}",
+                    file=sys.stderr,
+                )
+            ident = report["no_fault_identity"]
+            print(
+                f"[slo] 1x no-fault identity: identical="
+                f"{ident['identical']} sheds={ident['sheds']} "
+                f"retries={ident['retries']} "
+                f"degraded={ident['degraded_batches']}",
+                file=sys.stderr,
+            )
+        else:
+            for t, rec in sorted(
+                report["tenants"].items(), key=lambda kv: int(kv[0])
+            ):
+                mm = rec["modes"]
+                print(
+                    f"[serve] t={t:>2s}: unbatched "
+                    f"{mm['unbatched']['requests_per_second']:.2f} req/s, "
+                    f"concurrent {mm['concurrent']['requests_per_second']:.2f}, "
+                    f"batched {mm['batched']['requests_per_second']:.2f} "
+                    f"(p99 {mm['batched']['p99_latency_seconds']:.3e}s)",
+                    file=sys.stderr,
+                )
+
     if report["violations"]:
         for v in report["violations"]:
-            print(f"[serve] VIOLATION: {v}", file=sys.stderr)
+            tag = "slo" if args.overload else "serve"
+            print(f"[{tag}] VIOLATION: {v}", file=sys.stderr)
         return 1
-    print("[serve] batching/iteration-parity invariants hold",
-          file=sys.stderr)
+    if not args.json:
+        if args.overload:
+            print("[slo] guarded dominance and no-fault identity "
+                  "invariants hold", file=sys.stderr)
+        else:
+            print("[serve] batching/iteration-parity invariants hold",
+                  file=sys.stderr)
     return 0
 
 

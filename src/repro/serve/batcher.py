@@ -84,6 +84,16 @@ class RequestBatch:
         return max(r.priority for r in self.requests)
 
 
+def _chunk_batch(chunk: List[_Pending]) -> RequestBatch:
+    """Materialize one ordered chunk as an executable batch."""
+    return RequestBatch(
+        shard=chunk[0].shard,
+        values_fp=chunk[0].values_fp,
+        requests=[p.req for p in chunk],
+        arrival_clocks=[p.arrival_clock for p in chunk],
+    )
+
+
 class RequestBatcher:
     """Accumulates pending requests and drains them as ordered batches.
 
@@ -123,13 +133,23 @@ class RequestBatcher:
         )
         self._seq += 1
 
-    def take_batches(self) -> List[RequestBatch]:
-        """Drain the pending set into execution-ordered batches.
+    def pending_in_shard(self, shard: Tuple) -> int:
+        """Queued requests currently pending for ``shard``.
+
+        The admission controller's per-shard queue-depth and backlog
+        checks read this; it never mutates the queue.
+        """
+        return sum(1 for p in self._pending if p.shard == shard)
+
+    def _ordered_chunks(self) -> List[Tuple[Tuple, List[_Pending]]]:
+        """The pending set as execution-ordered width-capped chunks.
 
         Within a coalescible group, requests are ordered by priority
-        (descending) then arrival; across batches, execution order is
-        earliest absolute deadline, then highest priority, then first
-        arrival.
+        (descending) then arrival ``seq``; across chunks, execution
+        order is earliest absolute deadline (all-None-deadline groups
+        sort last at ``+inf``), then highest priority, then first
+        arrival ``seq`` -- a total order, since every chunk's first
+        ``seq`` is distinct.  Pure function of the pending list.
         """
         groups: Dict[Tuple, List[_Pending]] = {}
         for p in self._pending:
@@ -138,25 +158,43 @@ class RequestBatcher:
             else:
                 gkey = (p.shard, p.values_fp, p.seq)
             groups.setdefault(gkey, []).append(p)
-        self._pending = []
 
-        batches: List[Tuple[Tuple, RequestBatch]] = []
+        chunks: List[Tuple[Tuple, List[_Pending]]] = []
         for members in groups.values():
             members.sort(key=lambda p: (-p.req.priority, p.seq))
             for i in range(0, len(members), self.max_batch):
                 chunk = members[i : i + self.max_batch]
-                batch = RequestBatch(
-                    shard=chunk[0].shard,
-                    values_fp=chunk[0].values_fp,
-                    requests=[p.req for p in chunk],
-                    arrival_clocks=[p.arrival_clock for p in chunk],
-                )
+                batch = _chunk_batch(chunk)
                 first_seq = min(p.seq for p in chunk)
-                batches.append(
-                    (
-                        (batch._deadline(), -batch._priority(), first_seq),
-                        batch,
-                    )
+                chunks.append(
+                    ((batch._deadline(), -batch._priority(), first_seq), chunk)
                 )
-        batches.sort(key=lambda t: t[0])
-        return [b for _, b in batches]
+        chunks.sort(key=lambda t: t[0])
+        return chunks
+
+    def take_batches(self) -> List[RequestBatch]:
+        """Drain the pending set into execution-ordered batches.
+
+        See :meth:`_ordered_chunks` for the ordering contract.
+        """
+        chunks = self._ordered_chunks()
+        self._pending = []
+        return [_chunk_batch(chunk) for _, chunk in chunks]
+
+    def take_next_batch(self) -> "RequestBatch | None":
+        """Pop only the first batch in execution order; None when empty.
+
+        The streaming drain loop serves one batch at a time so arrivals
+        landing during a batch's service can join the *next* round's
+        coalescing.  Untaken requests stay pending with their original
+        arrival stamps and sequence numbers, so a later
+        :meth:`take_batches` / :meth:`take_next_batch` sees exactly the
+        queue a single up-front drain would have.
+        """
+        chunks = self._ordered_chunks()
+        if not chunks:
+            return None
+        _, first = chunks[0]
+        taken = {id(p) for p in first}
+        self._pending = [p for p in self._pending if id(p) not in taken]
+        return _chunk_batch(first)

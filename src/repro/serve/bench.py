@@ -58,8 +58,13 @@ def run_serve_bench(
     tenant_counts: Sequence[int] = (1, 2, 4, 8),
     elements: int = 6,
     rtol: float = 1e-7,
+    seed: int = 7,
 ) -> dict:
-    """Run the three-mode serving comparison over a seeded stream."""
+    """Run the three-mode serving comparison over a seeded stream.
+
+    ``seed`` drives the perturbed right-hand sides; the default (7)
+    reproduces the committed ``BENCH_serve.json`` exactly.
+    """
     from repro.bench.harness import model_machine
     from repro.fem import laplace_3d
     from repro.krylov import gmres
@@ -71,7 +76,7 @@ def run_serve_bench(
 
     problem = laplace_3d(elements, elements, elements)
     layout = JobLayout.gpu_run(1, 2, machine=model_machine())
-    rng = np.random.default_rng(7)
+    rng = np.random.default_rng(seed)
 
     violations: List[str] = []
     by_tenants: Dict[str, dict] = {}

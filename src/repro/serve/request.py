@@ -64,9 +64,18 @@ class SolveRequest:
         algebraic operators leave both at their defaults.
     deadline:
         Model-seconds budget from submission; the response reports
-        whether it was met.  None means no deadline.
+        whether it was met.  None means no deadline.  Under an
+        admission-controlled service the deadline also drives load
+        shedding: a request whose deadline is already unmeetable is
+        refused (``SolveStatus.SHED``) instead of served late.
     priority:
         Higher serves first among batches with equal deadlines.
+    tolerance_budget:
+        The loosest relative tolerance this client accepts (must be
+        >= ``krylov.rtol``).  Under overload the degradation ladder may
+        loosen the batch's tolerance up to the tightest budget present;
+        None (default) pins this request -- and any batch containing it
+        -- at full tolerance.
     request_id:
         Assigned by the service at submission when None.
     """
@@ -83,6 +92,7 @@ class SolveRequest:
     dofs_per_node: int = 1
     deadline: Optional[float] = None
     priority: int = 0
+    tolerance_budget: Optional[float] = None
     request_id: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -107,6 +117,13 @@ class SolveRequest:
                 f"deadline must be positive model seconds, got "
                 f"{self.deadline}"
             )
+        if self.tolerance_budget is not None:
+            if self.tolerance_budget < self.krylov.rtol:
+                raise ValueError(
+                    f"tolerance_budget ({self.tolerance_budget:g}) must be "
+                    f">= the requested rtol ({self.krylov.rtol:g}); it is "
+                    "the loosest tolerance the client accepts"
+                )
         self.partition = tuple(int(p) for p in self.partition)
 
 
@@ -141,6 +158,17 @@ class SolveResponse:
     deadline_met: Optional[bool] = None
     #: the shard this request was served on (pattern/config identity)
     shard: str = ""
+    #: retry attempts beyond the first (0 on the no-fault path)
+    retries: int = 0
+    #: why the request was shed (``status == SolveStatus.SHED`` only):
+    #: ``queue_full`` / ``rate_limited`` / ``admission_backlog`` /
+    #: ``deadline_passed`` / ``circuit_open``
+    shed_reason: Optional[str] = None
+    #: :meth:`DegradationDecision.to_dict` of the batch that served this
+    #: request, or None when it ran at full quality
+    degradation: Optional[dict] = None
+    #: error summary of the failing batch (``status == FAILED`` only)
+    error: Optional[str] = None
 
     def to_dict(self) -> dict:
         """JSON-ready dict; inverse of :meth:`from_dict`."""
@@ -159,6 +187,10 @@ class SolveResponse:
             "latency_seconds": float(self.latency_seconds),
             "deadline_met": self.deadline_met,
             "shard": self.shard,
+            "retries": int(self.retries),
+            "shed_reason": self.shed_reason,
+            "degradation": self.degradation,
+            "error": self.error,
         }
 
     @classmethod
@@ -184,4 +216,8 @@ class SolveResponse:
             latency_seconds=float(d["latency_seconds"]),
             deadline_met=d["deadline_met"],
             shard=d.get("shard", ""),
+            retries=int(d.get("retries", 0)),
+            shed_reason=d.get("shed_reason"),
+            degradation=d.get("degradation"),
+            error=d.get("error"),
         )

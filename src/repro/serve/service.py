@@ -21,25 +21,56 @@ existing solver stack for them:
   tenants: each is priced under ``layout.with_tenants(t)`` (a ``1/t``
   GPU share each) and the round takes the slowest batch, not the sum.
 
-Every request is traced: a ``serve/batch`` span per executed batch
-(with ``batch_width`` and per-request ``queue_wait_seconds`` counters)
+Overload robustness (all opt-in; a service constructed without
+``admission=`` / ``guard=`` is bit-identical to the fair-weather
+service, except that a raising batch now yields terminal ``FAILED``
+responses instead of stranding every later request):
+
+* ``admission=`` (:class:`~repro.serve.admission.AdmissionConfig`)
+  bounds the per-shard queues, rate-limits through a token bucket, and
+  sheds requests whose modeled backlog already exceeds their deadline
+  -- at admission and again in queue (``SolveStatus.SHED``);
+* ``guard=`` (:class:`~repro.serve.guard.GuardConfig`) adds per-shard
+  circuit breakers over the batch outcome stream, deadline-capped
+  retry with deterministic seeded backoff for failed requests, and the
+  pressure-driven degradation ladder (loosen rtol within each
+  request's ``tolerance_budget`` -> half-precision operator ->
+  one-level Schwarz), every rung priced on the modeled clock and
+  reported in :attr:`~repro.serve.request.SolveResponse.degradation`;
+* :meth:`run_trace` replays a streaming arrival timeline
+  (:class:`~repro.serve.admission.ArrivalTrace`) against the modeled
+  clock: arrivals land while earlier batches are still draining, idle
+  gaps fast-forward the clock, and every admission decision happens at
+  the request's true arrival instant.
+
+Every request is traced: ``serve/admit`` / ``serve/shed`` /
+``serve/retry`` / ``serve/degrade`` spans around the admission and
+guard decisions, and a ``serve/batch`` span per executed batch (with
+``batch_width`` and per-request ``queue_wait_seconds`` counters)
 wrapping the block solve's own ``krylov/*`` spans.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api import SolverSession
+from repro.krylov import SolveStatus
 from repro.krylov.block import BlockSolveResult, block_cg, block_gmres
 from repro.obs import get_tracer
 from repro.reuse import pattern_fingerprint, values_fingerprint
 from repro.runtime.layout import JobLayout
 from repro.runtime.pricing import reduce_seconds
 from repro.runtime.timings import block_iteration_seconds
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    ShardLoadEstimator,
+)
 from repro.serve.batcher import RequestBatch, RequestBatcher, shard_key
+from repro.serve.guard import DegradationDecision, GuardConfig, GuardState
 from repro.serve.pool import SessionPool
 from repro.serve.request import SolveRequest, SolveResponse
 
@@ -73,6 +104,19 @@ class _OperatorProblem:
             self.coordinates = coordinates
 
 
+class _Retry:
+    """One request waiting out its backoff before re-queueing."""
+
+    __slots__ = ("not_before", "req", "shard", "values_fp", "arrival")
+
+    def __init__(self, not_before, req, shard, values_fp, arrival):
+        self.not_before = not_before
+        self.req = req
+        self.shard = shard
+        self.values_fp = values_fp
+        self.arrival = arrival
+
+
 class SolverService:
     """Shard-pooled, batch-coalescing solve service.
 
@@ -89,6 +133,18 @@ class SolverService:
         benchmark compares against).
     pool_size:
         LRU bound of the shard session pool.
+    admission:
+        :class:`~repro.serve.admission.AdmissionConfig` enabling
+        bounded queues, token-bucket admission, and deadline-aware load
+        shedding.  None (default) admits everything, exactly as before.
+    guard:
+        :class:`~repro.serve.guard.GuardConfig` enabling per-shard
+        circuit breakers, retry with seeded backoff, and the
+        degradation ladder.  None (default) disables all three.
+    fault_injector:
+        Test/chaos hook: a callable ``(batch, attempts) -> None`` run
+        before each batch executes; raising simulates a solver fault
+        for the whole batch (contained, then retried under ``guard=``).
     """
 
     def __init__(
@@ -97,6 +153,9 @@ class SolverService:
         max_batch: int = 8,
         batching: bool = True,
         pool_size: int = 8,
+        admission: Optional[AdmissionConfig] = None,
+        guard: Optional[GuardConfig] = None,
+        fault_injector: Optional[Callable] = None,
     ) -> None:
         if layout is None:
             from repro.bench.harness import model_machine
@@ -107,11 +166,29 @@ class SolverService:
         self.pool = SessionPool(maxsize=pool_size)
         #: the modeled clock, in model seconds since service start
         self.clock = 0.0
-        #: total requests served (also sources request ids)
+        #: total requests served (responses from executed batches)
         self.served = 0
+        #: requests refused with ``SolveStatus.SHED``
+        self.sheds = 0
+        #: retry attempts scheduled by the guard
+        self.retries = 0
+        #: batches executed below full quality
+        self.degraded_batches = 0
+        #: batch executions that raised (contained as FAILED/retry)
+        self.batch_failures = 0
         self._seq = 0
         self._operators: Dict[str, RegisteredOperator] = {}
         self._inflight: Dict[str, SolveRequest] = {}
+        self._estimator = ShardLoadEstimator()
+        self._admission = (
+            AdmissionController(admission, self._estimator)
+            if admission is not None else None
+        )
+        self._guard = GuardState(guard) if guard is not None else None
+        self._fault_injector = fault_injector
+        self._retry_queue: List[_Retry] = []
+        self._attempts: Dict[str, int] = {}
+        self._pending_shed: List[SolveResponse] = []
 
     # -- operator registry ---------------------------------------------
     def register(
@@ -146,8 +223,17 @@ class SolverService:
         return op
 
     # -- request intake -------------------------------------------------
-    def submit(self, req: SolveRequest) -> str:
-        """Queue one request; returns its request id."""
+    def submit(
+        self, req: SolveRequest, arrival: Optional[float] = None
+    ) -> str:
+        """Queue one request; returns its request id.
+
+        ``arrival`` stamps the request's arrival on the modeled clock
+        (default: now).  With ``admission=`` configured, the admission
+        decision happens here: a refused request is *not* queued -- its
+        ``SHED`` response is delivered by the next :meth:`drain` (or
+        immediately by :meth:`run_trace`).
+        """
         op = self._resolve(req)
         if req.rhs.size != op.matrix.n_rows:
             raise ValueError(
@@ -157,9 +243,24 @@ class SolverService:
         if req.request_id is None:
             req.request_id = f"r{self._seq:05d}"
         self._seq += 1
-        self.batcher.add(
-            req, shard_key(req, op.pattern_fp), op.values_fp, self.clock
-        )
+        arrival = self.clock if arrival is None else float(arrival)
+        shard = shard_key(req, op.pattern_fp)
+        if self._admission is not None:
+            reason = self._admission.decide(
+                arrival,
+                shard,
+                self.batcher.pending_in_shard(shard),
+                req.deadline,
+            )
+            if reason is not None:
+                self._pending_shed.append(
+                    self._shed_response(req, arrival, arrival, reason, shard)
+                )
+                return req.request_id
+            with get_tracer().span("serve/admit") as sp:
+                sp.annotate(request=req.request_id)
+                sp.count("admitted")
+        self.batcher.add(req, shard, op.values_fp, arrival)
         self._inflight[req.request_id] = req
         return req.request_id
 
@@ -170,33 +271,91 @@ class SolverService:
         ``concurrent=False`` runs the batches back to back on the full
         layout; ``concurrent=True`` runs them as simultaneous MPS
         tenants (each priced on a split GPU share, the round costing
-        the slowest batch).
+        the slowest batch).  Requests the guard scheduled for retry are
+        re-queued once their backoff elapses and served in later
+        rounds; the drain only returns when every submitted request has
+        a terminal response.
         """
-        batches = self.batcher.take_batches()
-        if not batches:
-            return []
-        responses: List[SolveResponse] = []
-        if concurrent and len(batches) > 1:
-            tenants = len(batches)
-            layout = self.layout.with_tenants(tenants)
-            start = self.clock
-            round_secs = 0.0
-            for batch in batches:
-                rs, secs = self._serve_batch(batch, layout, start)
-                responses.extend(rs)
-                round_secs = max(round_secs, secs)
-            self.clock = start + round_secs
-        else:
-            for batch in batches:
-                rs, secs = self._serve_batch(batch, self.layout, self.clock)
-                responses.extend(rs)
-                self.clock += secs
+        responses: List[SolveResponse] = list(self._pending_shed)
+        self._pending_shed.clear()
+        while True:
+            self._release_due_retries()
+            batches = self.batcher.take_batches()
+            if not batches:
+                nxt = self._next_retry_time()
+                if nxt is None:
+                    break
+                # idle wait: fast-forward to the earliest backoff expiry
+                self.clock = max(self.clock, nxt)
+                continue
+            if concurrent and len(batches) > 1:
+                tenants = len(batches)
+                layout = self.layout.with_tenants(tenants)
+                start = self.clock
+                round_secs = 0.0
+                for batch in batches:
+                    rs, secs = self._execute_batch(batch, layout, start)
+                    responses.extend(rs)
+                    round_secs = max(round_secs, secs)
+                self.clock = start + round_secs
+            else:
+                for batch in batches:
+                    rs, secs = self._execute_batch(
+                        batch, self.layout, self.clock
+                    )
+                    responses.extend(rs)
+                    self.clock += secs
         return responses
 
     def solve(self, req: SolveRequest) -> SolveResponse:
         """Submit one request and serve it immediately (width-1 batch)."""
         self.submit(req)
         return self.drain()[0]
+
+    def run_trace(
+        self, arrivals: Sequence[Tuple[float, SolveRequest]]
+    ) -> List[SolveResponse]:
+        """Replay a streaming arrival timeline; returns all responses.
+
+        ``arrivals`` is a sequence of ``(model_time, request)`` pairs
+        (:meth:`ArrivalTrace.bind` produces one).  The loop alternates
+        admission and execution on the modeled clock: all arrivals due
+        at or before "now" are admitted (through the admission
+        controller when configured), then ONE batch -- the earliest in
+        execution order -- is served, so arrivals landing during its
+        service join the next round's coalescing.  When the service
+        goes idle the clock fast-forwards to the next arrival or retry.
+        """
+        events = sorted(
+            enumerate(arrivals), key=lambda e: (e[1][0], e[0])
+        )
+        events = [ev for _, ev in events]
+        responses: List[SolveResponse] = []
+        i, n = 0, len(events)
+        while True:
+            while i < n and events[i][0] <= self.clock:
+                t, req = events[i]
+                i += 1
+                self.submit(req, arrival=t)
+                responses.extend(self._pending_shed)
+                self._pending_shed.clear()
+            self._release_due_retries()
+            batch = self.batcher.take_next_batch()
+            if batch is not None:
+                rs, secs = self._execute_batch(batch, self.layout, self.clock)
+                responses.extend(rs)
+                self.clock += secs
+                continue
+            times = []
+            if i < n:
+                times.append(events[i][0])
+            nxt = self._next_retry_time()
+            if nxt is not None:
+                times.append(nxt)
+            if not times:
+                break
+            self.clock = max(self.clock, min(times))
+        return responses
 
     # -- internals ------------------------------------------------------
     def _session_factory(
@@ -220,17 +379,22 @@ class SolverService:
         return factory
 
     def _run_block(
-        self, batch: RequestBatch, op: RegisteredOperator, precond
+        self,
+        batch: RequestBatch,
+        op: RegisteredOperator,
+        precond,
+        rtol: Optional[float] = None,
     ) -> BlockSolveResult:
         head = batch.requests[0]
         kry = head.krylov
+        rtol = kry.rtol if rtol is None else float(rtol)
         b_block = np.stack([r.rhs for r in batch.requests], axis=1)
         if kry.method == "gmres":
             return block_gmres(
                 op.matrix,
                 b_block,
                 preconditioner=precond,
-                rtol=kry.rtol,
+                rtol=rtol,
                 restart=kry.restart,
                 maxiter=kry.maxiter,
                 variant=kry.variant,
@@ -240,7 +404,7 @@ class SolverService:
                 op.matrix,
                 b_block,
                 preconditioner=precond,
-                rtol=kry.rtol,
+                rtol=rtol,
                 maxiter=kry.maxiter,
             )
         raise ValueError(
@@ -257,7 +421,10 @@ class SolverService:
         width of the still-active columns: sorting the per-column depths
         ascending, the block spends ``d_1`` iterations at full width,
         ``d_2 - d_1`` at width ``k-1``, and so on.  Batched reductions
-        are priced once from the result's own batched counters.
+        are priced once from the result's own batched counters.  Under
+        a degraded operator the per-iteration kernels are the degraded
+        ones (halved bytes, no coarse solve), so the rung's saving is
+        priced, not asserted.
         """
         depths = sorted(result.iterations)
         k = len(depths)
@@ -274,8 +441,287 @@ class SolverService:
         )
         return secs
 
-    def _serve_batch(
+    # -- guard / admission helpers --------------------------------------
+    def _shard_str(self, shard: Tuple) -> str:
+        return f"{shard[0][:8]}:{shard[2]}"
+
+    def _shed_response(
+        self,
+        req: SolveRequest,
+        arrival: float,
+        now: float,
+        reason: str,
+        shard: Tuple,
+    ) -> SolveResponse:
+        """Terminal SHED response (fast honest rejection, zero service)."""
+        self.sheds += 1
+        self._inflight.pop(req.request_id, None)
+        with get_tracer().span("serve/shed") as sp:
+            sp.annotate(request=req.request_id, reason=reason)
+            sp.count("shed")
+        wait = max(0.0, now - arrival)
+        return SolveResponse(
+            request_id=req.request_id,
+            tenant=req.tenant,
+            status=SolveStatus.SHED,
+            x=np.zeros(0),
+            iterations=0,
+            converged=False,
+            residual_norms=[],
+            final_relres=float("inf"),
+            queue_wait_seconds=wait,
+            batch_width=0,
+            service_seconds=0.0,
+            latency_seconds=wait,
+            deadline_met=None if req.deadline is None else False,
+            shard=self._shard_str(shard),
+            retries=self._attempts.get(req.request_id, 0),
+            shed_reason=reason,
+        )
+
+    def _failed_response(
+        self,
+        req: SolveRequest,
+        arrival: float,
+        now: float,
+        error: str,
+        shard: Tuple,
+        service_seconds: float,
+        batch_width: int,
+    ) -> SolveResponse:
+        """Terminal FAILED response after containment/retry exhaustion."""
+        self._inflight.pop(req.request_id, None)
+        wait = max(0.0, now - service_seconds - arrival)
+        latency = max(0.0, now - arrival)
+        return SolveResponse(
+            request_id=req.request_id,
+            tenant=req.tenant,
+            status=SolveStatus.FAILED,
+            x=np.zeros(0),
+            iterations=0,
+            converged=False,
+            residual_norms=[],
+            final_relres=float("inf"),
+            queue_wait_seconds=wait,
+            batch_width=batch_width,
+            service_seconds=service_seconds,
+            latency_seconds=latency,
+            deadline_met=(
+                None if req.deadline is None
+                else latency <= req.deadline
+            ),
+            shard=self._shard_str(shard),
+            retries=self._attempts.get(req.request_id, 0),
+            error=error,
+        )
+
+    def _release_due_retries(self) -> None:
+        """Re-queue retries whose backoff has elapsed at the clock."""
+        due = [r for r in self._retry_queue if r.not_before <= self.clock]
+        if not due:
+            return
+        self._retry_queue = [
+            r for r in self._retry_queue if r.not_before > self.clock
+        ]
+        for r in sorted(due, key=lambda r: (r.not_before, r.req.request_id)):
+            self.batcher.add(r.req, r.shard, r.values_fp, r.arrival)
+            self._inflight[r.req.request_id] = r.req
+
+    def _next_retry_time(self) -> Optional[float]:
+        if not self._retry_queue:
+            return None
+        return min(r.not_before for r in self._retry_queue)
+
+    def _shed_hopeless(
+        self, batch: RequestBatch, start_clock: float
+    ) -> Tuple[Optional[RequestBatch], List[SolveResponse]]:
+        """Shed queued requests whose deadline has already passed.
+
+        A request with ``arrival + deadline <= start_clock`` cannot
+        possibly be answered in time -- serving it would only delay
+        everything behind it.  Returns the (possibly narrowed) batch
+        and the shed responses; None when the whole batch was hopeless.
+        """
+        keep_r, keep_a, shed = [], [], []
+        for req, arrival in zip(batch.requests, batch.arrival_clocks):
+            if (
+                req.deadline is not None
+                and arrival + req.deadline <= start_clock
+            ):
+                shed.append(self._shed_response(
+                    req, arrival, start_clock, "deadline_passed", batch.shard
+                ))
+            else:
+                keep_r.append(req)
+                keep_a.append(arrival)
+        if not shed:
+            return batch, []
+        if not keep_r:
+            return None, shed
+        return (
+            RequestBatch(
+                shard=batch.shard,
+                values_fp=batch.values_fp,
+                requests=keep_r,
+                arrival_clocks=keep_a,
+            ),
+            shed,
+        )
+
+    def _degradation_for(
+        self, batch: RequestBatch, start_clock: float
+    ) -> Optional[DegradationDecision]:
+        """The ladder's decision for one batch about to execute."""
+        guard = self._guard
+        if guard is None or not guard.config.degradation:
+            return None
+        # flat-cost model: a block solve shares one launch schedule, so
+        # its cost is nearly width-independent
+        est = self._estimator.batch_seconds(batch.shard)
+        headrooms = [
+            arrival + req.deadline - start_clock
+            for req, arrival in zip(batch.requests, batch.arrival_clocks)
+            if req.deadline is not None
+        ]
+        headroom = min(headrooms) if headrooms else None
+        pressure = guard.ladder.pressure(est, headroom)
+        decision = guard.ladder.decide(
+            pressure,
+            batch.requests[0].krylov.rtol,
+            [r.tolerance_budget for r in batch.requests],
+        )
+        return decision if decision.degraded else None
+
+    def _schedule_retry_or_fail(
+        self,
+        batch: RequestBatch,
+        now: float,
+        error: str,
+        service_seconds: float,
+    ) -> List[SolveResponse]:
+        """Route each request of a failed batch: backoff retry or FAILED."""
+        out: List[SolveResponse] = []
+        tr = get_tracer()
+        for req, arrival in zip(batch.requests, batch.arrival_clocks):
+            attempt = self._attempts.get(req.request_id, 0) + 1
+            self._attempts[req.request_id] = attempt
+            not_before = None
+            if self._guard is not None:
+                abs_deadline = (
+                    None if req.deadline is None else arrival + req.deadline
+                )
+                not_before = self._guard.retry.should_retry(
+                    req.request_id, attempt, now, abs_deadline
+                )
+            if not_before is not None:
+                self.retries += 1
+                with tr.span("serve/retry") as sp:
+                    sp.annotate(
+                        request=req.request_id, attempt=attempt,
+                        not_before=not_before,
+                    )
+                    sp.count("retries")
+                self._retry_queue.append(_Retry(
+                    not_before, req, batch.shard, batch.values_fp, arrival
+                ))
+            else:
+                out.append(self._failed_response(
+                    req, arrival, now, error, batch.shard,
+                    service_seconds, batch.width,
+                ))
+        return out
+
+    def _execute_batch(
         self, batch: RequestBatch, layout: JobLayout, start_clock: float
+    ) -> Tuple[List[SolveResponse], float]:
+        """Guarded execution of one batch: shed, break, degrade, contain.
+
+        Returns the terminal responses produced now (retried requests
+        produce theirs in a later round) and the modeled seconds the
+        batch consumed.
+        """
+        responses: List[SolveResponse] = []
+        # shed-in-queue: drop requests whose deadline already passed
+        if (
+            self._admission is not None
+            and self._admission.config.shed_in_queue
+        ):
+            narrowed, shed = self._shed_hopeless(batch, start_clock)
+            responses.extend(shed)
+            if narrowed is None:
+                return responses, 0.0
+            batch = narrowed
+        # circuit breaker: fail fast on a shard that keeps breaking
+        breaker = None
+        if self._guard is not None:
+            breaker = self._guard.breaker(batch.shard)
+            if not breaker.allow(start_clock):
+                for req, arrival in zip(batch.requests, batch.arrival_clocks):
+                    responses.append(self._shed_response(
+                        req, arrival, start_clock, "circuit_open", batch.shard
+                    ))
+                return responses, 0.0
+        decision = self._degradation_for(batch, start_clock)
+        try:
+            if self._fault_injector is not None:
+                self._fault_injector(batch, self._attempts)
+            rs, secs = self._serve_batch(batch, layout, start_clock, decision)
+        except Exception as exc:  # containment: the drain must continue
+            self.batch_failures += 1
+            # the failed attempt consumed real modeled time: bill the
+            # shard's smoothed flat-cost batch estimate
+            secs = self._estimator.batch_seconds(batch.shard)
+            now = start_clock + secs
+            if breaker is not None:
+                breaker.record_failure(now)
+            error = f"{type(exc).__name__}: {exc}"
+            responses.extend(
+                self._schedule_retry_or_fail(batch, now, error, secs)
+            )
+            return responses, secs
+        self._estimator.observe(batch.shard, secs, batch.width)
+        now = start_clock + secs
+        if breaker is not None:
+            if any(r.converged for r in rs):
+                breaker.record_success(now)
+            else:
+                breaker.record_failure(now)
+        # non-converged breakdown columns are retry candidates
+        if self._guard is not None and self._guard.config.max_retries > 0:
+            terminal, broken_r, broken_a = [], [], []
+            for req, arrival, resp in zip(
+                batch.requests, batch.arrival_clocks, rs
+            ):
+                if resp.status is SolveStatus.BREAKDOWN:
+                    broken_r.append(req)
+                    broken_a.append(arrival)
+                else:
+                    terminal.append(resp)
+            if broken_r:
+                sub = RequestBatch(
+                    shard=batch.shard, values_fp=batch.values_fp,
+                    requests=broken_r, arrival_clocks=broken_a,
+                )
+                terminal.extend(self._schedule_retry_or_fail(
+                    sub, now, "breakdown", secs
+                ))
+            rs = terminal
+        for resp in rs:
+            if resp.status is not SolveStatus.FAILED:
+                self._finalize_served(resp)
+        responses.extend(rs)
+        return responses, secs
+
+    def _finalize_served(self, resp: SolveResponse) -> None:
+        self._inflight.pop(resp.request_id, None)
+        self.served += 1
+
+    def _serve_batch(
+        self,
+        batch: RequestBatch,
+        layout: JobLayout,
+        start_clock: float,
+        decision: Optional[DegradationDecision] = None,
     ) -> Tuple[List[SolveResponse], float]:
         op = self._operators[batch.shard[0]]
         tr = get_tracer()
@@ -305,10 +751,26 @@ class SolverService:
                 setup_secs = (
                     t.first_setup_seconds if first_use else t.setup_seconds
                 )
+            operator = precond
+            rtol_override = None
+            degradation_dict = None
+            if decision is not None and decision.degraded:
+                from repro.serve.guard import DegradationLadder
+
+                self.degraded_batches += 1
+                operator = DegradationLadder.wrap_operator(precond, decision)
+                rtol_override = decision.effective_rtol
+                degradation_dict = decision.to_dict()
+                with tr.span("serve/degrade") as dsp:
+                    dsp.annotate(
+                        rungs=",".join(decision.rungs),
+                        pressure=decision.pressure,
+                    )
+                    dsp.count("degraded_batches")
             with tr.span("serve/solve") as ssp:
-                result = self._run_block(batch, op, precond)
+                result = self._run_block(batch, op, operator, rtol_override)
                 ssp.count("block_width", float(batch.width))
-            solve_secs = self._solve_price(result, precond, layout)
+            solve_secs = self._solve_price(result, operator, layout)
             batch_secs = setup_secs + solve_secs
             sp.annotate(
                 setup_seconds=setup_secs,
@@ -349,12 +811,12 @@ class SolverService:
                             None if req.deadline is None
                             else latency <= req.deadline
                         ),
-                        shard=f"{batch.shard[0][:8]}:{batch.shard[2]}",
+                        shard=self._shard_str(batch.shard),
+                        retries=self._attempts.get(req.request_id, 0),
+                        degradation=degradation_dict,
                     )
                 )
-                self._inflight.pop(req.request_id, None)
                 pooled.served += 1
-                self.served += 1
         return responses, batch_secs
 
     def close(self) -> None:

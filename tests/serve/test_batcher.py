@@ -111,3 +111,93 @@ class TestOrdering:
         # the high-priority pair fills the first chunk
         assert [r.tenant for r in batches[0].requests] == ["b", "c"]
         assert [r.tenant for r in batches[1].requests] == ["a"]
+
+
+class TestStableTiebreak:
+    """Satellite regression: ordering must be a stable total order when
+    all-None-deadline groups (``_deadline() == inf``) mix with dated
+    ones -- the sort key ends in each chunk's first arrival ``seq``,
+    which is globally unique, so no pair of chunks ever compares
+    equal."""
+
+    def test_all_none_deadline_groups_keep_arrival_order(self):
+        b = RequestBatcher(batching=False)
+        for i in range(6):
+            _add(b, _req(tenant=f"t{i}"))  # no deadlines anywhere
+        order = [bt.requests[0].tenant for bt in b.take_batches()]
+        assert order == [f"t{i}" for i in range(6)]
+
+    def test_dated_groups_precede_every_undated_group(self):
+        b = RequestBatcher(batching=False)
+        _add(b, _req(tenant="undated-early"))
+        _add(b, _req(tenant="dated", deadline=100.0))
+        _add(b, _req(tenant="undated-late"))
+        order = [bt.requests[0].tenant for bt in b.take_batches()]
+        # the dated group jumps the queue no matter how late its
+        # deadline is; the undated pair keeps arrival order at +inf
+        assert order == ["dated", "undated-early", "undated-late"]
+
+    def test_priority_orders_within_the_inf_deadline_block(self):
+        b = RequestBatcher(batching=False)
+        _add(b, _req(tenant="low-first", priority=0))
+        _add(b, _req(tenant="high", priority=3))
+        _add(b, _req(tenant="low-second", priority=0))
+        order = [bt.requests[0].tenant for bt in b.take_batches()]
+        assert order == ["high", "low-first", "low-second"]
+
+    def test_mixed_order_is_deterministic_across_refills(self):
+        """The same pending set (same seq assignment) must drain in the
+        same order every time -- no dict-iteration or sort-instability
+        leakage."""
+        def fill(b):
+            _add(b, _req(tenant="u0"), values_fp="val-a")
+            _add(b, _req(tenant="d1", deadline=5.0), values_fp="val-b")
+            _add(b, _req(tenant="u2", priority=1), values_fp="val-c")
+            _add(b, _req(tenant="d3", deadline=2.0), values_fp="val-d")
+            _add(b, _req(tenant="u4"), values_fp="val-e")
+
+        orders = []
+        for _ in range(3):
+            b = RequestBatcher(batching=False)
+            fill(b)
+            orders.append(
+                [bt.requests[0].tenant for bt in b.take_batches()]
+            )
+        assert orders[0] == orders[1] == orders[2]
+        assert orders[0] == ["d3", "d1", "u2", "u0", "u4"]
+
+    def test_take_next_batch_matches_take_batches_order(self):
+        """Streaming one-at-a-time drain must walk exactly the order a
+        single up-front drain would have produced."""
+        def fill(b):
+            _add(b, _req(tenant="u0"), values_fp="val-a")
+            _add(b, _req(tenant="d1", deadline=5.0), values_fp="val-b")
+            _add(b, _req(tenant="u2"), values_fp="val-c")
+            _add(b, _req(tenant="d3", deadline=2.0), values_fp="val-d")
+
+        b_all = RequestBatcher(batching=False)
+        fill(b_all)
+        expected = [bt.requests[0].tenant for bt in b_all.take_batches()]
+
+        b_one = RequestBatcher(batching=False)
+        fill(b_one)
+        streamed = []
+        while True:
+            bt = b_one.take_next_batch()
+            if bt is None:
+                break
+            streamed.append(bt.requests[0].tenant)
+        assert streamed == expected
+        assert len(b_one) == 0
+
+    def test_take_next_batch_leaves_rest_pending_intact(self):
+        b = RequestBatcher(max_batch=8)
+        _add(b, _req(tenant="a"), values_fp="val-a", clock=1.0)
+        _add(b, _req(tenant="b"), values_fp="val-b", clock=2.0)
+        first = b.take_next_batch()
+        assert [r.tenant for r in first.requests] == ["a"]
+        assert len(b) == 1
+        second = b.take_next_batch()
+        # original arrival stamp survives the partial drain
+        assert second.arrival_clocks == [2.0]
+        assert b.take_next_batch() is None
