@@ -42,7 +42,7 @@ from repro.dd.decomposition import Decomposition
 from repro.dd.local_solvers import LocalSolverSpec
 from repro.dd.precision import HalfPrecisionOperator, round_to_single
 from repro.dd.two_level import GDSWPreconditioner
-from repro.fem import constant_nullspace, rigid_body_modes
+from repro.fem import constant_nullspace, rigid_body_modes, translations_only
 from repro.krylov import SolveStatus, cg, gmres, pipelined_cg
 from repro.krylov.gmres import GMRES_VARIANTS
 from repro.obs import Span, Tracer, use_tracer
@@ -62,12 +62,17 @@ __all__ = [
     "SolverSession",
     "SessionResult",
     "COARSE_VARIANTS",
+    "COARSE_SPACES",
     "KRYLOV_METHODS",
     "PRECISIONS",
 ]
 
 #: valid coarse-space variants of :class:`SchwarzConfig`
 COARSE_VARIANTS = ("rgdsw", "gdsw", "agdsw")
+#: valid coarse-space families: the FEM-structured GDSW family
+#: (selected further by ``variant``) or the fully algebraic spectral
+#: space of :mod:`repro.dd.algebraic`
+COARSE_SPACES = ("gdsw", "spectral")
 #: valid Krylov methods of :class:`KrylovConfig`
 KRYLOV_METHODS = ("gmres", "cg", "pipelined_cg")
 #: valid working precisions of :class:`SchwarzConfig`
@@ -121,6 +126,13 @@ class SchwarzConfig:
     coarse:
         Coarse-matrix solver; None selects the GDSW default (Tacho,
         natural ordering).
+    extension:
+        Solver for the interior extension solves of Eq. (2); None
+        selects the GDSW default (Tacho, ND ordering).  Nonsymmetric
+        operators (e.g. upwinded convection-diffusion via ``.mtx``)
+        need ``LocalSolverSpec(kind="superlu")`` here and in
+        ``local``/``coarse`` -- the Cholesky-based default assumes
+        symmetry.
     overlap:
         Algebraic overlap layers (paper: 1).
     variant:
@@ -131,6 +143,20 @@ class SchwarzConfig:
         Spatial dimension for interface classification.
     adaptive_tol:
         AGDSW eigenvalue threshold (``variant="agdsw"`` only).
+    coarse_space:
+        Coarse-space family: ``"gdsw"`` (default -- the FEM-structured
+        GDSW family, refined by ``variant``) or ``"spectral"`` (the
+        fully algebraic SPSD-splitting / GenEO space of
+        :mod:`repro.dd.algebraic`; needs no null space or geometry, so
+        it accepts arbitrary assembled matrices, e.g. MatrixMarket
+        inputs).
+    tau:
+        Spectral eigenvalue threshold: generalized eigenmodes with
+        ``lambda <= tau`` enter the coarse space
+        (``coarse_space="spectral"`` only).
+    max_vectors_per_subdomain:
+        Per-subdomain cap on spectral coarse vectors
+        (``coarse_space="spectral"`` only).
     coarse_solver:
         ``"direct"`` or ``"multilevel"`` (the three-level method).
     multilevel_parts:
@@ -139,27 +165,54 @@ class SchwarzConfig:
 
     local: LocalSolverSpec = field(default_factory=LocalSolverSpec)
     coarse: Optional[LocalSolverSpec] = None
+    extension: Optional[LocalSolverSpec] = None
     overlap: int = 1
     variant: str = "rgdsw"
     precision: str = "double"
     dim: int = 3
     adaptive_tol: float = 1e-2
+    coarse_space: str = "gdsw"
+    tau: float = 1e-2
+    max_vectors_per_subdomain: int = 8
     coarse_solver: str = "direct"
     multilevel_parts: int = 4
 
     def __post_init__(self) -> None:
         _check(self.variant, COARSE_VARIANTS, "coarse-space variant")
+        _check(self.coarse_space, COARSE_SPACES, "coarse-space family")
         _check(self.precision, PRECISIONS, "precision")
         _check(self.coarse_solver, _COARSE_SOLVERS, "coarse solver")
         if self.overlap < 0:
             raise ValueError(f"overlap must be >= 0, got {self.overlap}")
+        if self.tau <= 0:
+            raise ValueError(f"tau must be positive, got {self.tau}")
+        if self.max_vectors_per_subdomain < 1:
+            raise ValueError(
+                f"max_vectors_per_subdomain must be >= 1, "
+                f"got {self.max_vectors_per_subdomain}"
+            )
 
     def describe(self) -> str:
-        """One-line summary used by trace annotations and tables."""
-        return (
+        """One-line summary used by trace annotations and tables.
+
+        Also the preconditioner half of a serving shard key.  Default
+        (``coarse_space="gdsw"``) configurations keep the historical
+        format byte-for-byte; spectral configurations append their
+        selection parameters so they never share a shard with a GDSW
+        run.
+        """
+        base = (
             f"{self.variant} overlap={self.overlap} "
             f"local=[{self.local.describe()}] {self.precision}"
         )
+        if self.extension is not None:
+            base += f" ext=[{self.extension.describe()}]"
+        if self.coarse_space == "spectral":
+            base += (
+                f" spectral tau={self.tau:g} "
+                f"maxvec={self.max_vectors_per_subdomain}"
+            )
+        return base
 
 
 @dataclass(frozen=True)
@@ -279,6 +332,22 @@ class SessionResult:
     def phase_table(self, title: str = "solver phases (wall time)") -> str:
         """Paper-style phase table of the wall-time trace."""
         return phase_table(self.trace, title=title)
+
+
+@dataclass
+class _AlgebraicProblem:
+    """A bare assembled operator (the ``.mtx`` ingestion adapter).
+
+    No grid and usually no geometry: sessions built on it partition the
+    node graph algebraically and (for the GDSW family) fall back to the
+    translation/constant null spaces.
+    """
+
+    a: CsrMatrix
+    b: np.ndarray
+    dofs_per_node: int = 1
+    coordinates: Optional[np.ndarray] = None
+    source: str = ""
 
 
 class SolverSession:
@@ -454,12 +523,91 @@ class SolverSession:
         self._last: Optional[dict] = None
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix_market(
+        cls,
+        path,
+        b: Optional[np.ndarray] = None,
+        *,
+        dofs_per_node: int = 1,
+        coordinates: Optional[np.ndarray] = None,
+        **kwargs,
+    ) -> "SolverSession":
+        """A session over an arbitrary assembled ``.mtx`` matrix.
+
+        Reads the MatrixMarket coordinate file at ``path``
+        (:func:`repro.io.read_matrix_market`), wraps it as an algebraic
+        problem (no grid -- the decomposition falls back to
+        :meth:`~repro.dd.decomposition.Decomposition.algebraic` graph
+        partitioning), and returns a normal :class:`SolverSession`.
+        ``SchwarzConfig(coarse_space="spectral")`` needs nothing else;
+        the GDSW family additionally wants a meaningful null space
+        (constants for scalar problems and per-component translations
+        for block problems are the automatic fallbacks; pass
+        ``coordinates`` or ``nullspace=`` for true rigid-body modes).
+
+        Parameters
+        ----------
+        path:
+            A MatrixMarket coordinate file (``real``/``integer``/
+            ``pattern`` field, ``general`` or ``symmetric``); must be
+            square.
+        b:
+            Right-hand side; defaults to the vector of ones.
+        dofs_per_node:
+            Block size of the matrix (3 for 3D elasticity); the matrix
+            order must be divisible by it.
+        coordinates:
+            Optional ``(n_nodes, 3)`` node coordinates enabling the
+            rigid-body null space for 3-dof problems.
+        kwargs:
+            Forwarded to :class:`SolverSession` (``partition``,
+            ``config``, ``krylov``, ``nullspace``, ``verify``, ...).
+        """
+        from repro.io import read_matrix_market
+
+        a = read_matrix_market(path)
+        if a.n_rows != a.n_cols:
+            raise ValueError(
+                f"{path}: solver sessions need a square matrix, "
+                f"got {a.n_rows} x {a.n_cols}"
+            )
+        if dofs_per_node < 1 or a.n_rows % dofs_per_node:
+            raise ValueError(
+                f"{path}: matrix order {a.n_rows} is not divisible by "
+                f"dofs_per_node={dofs_per_node}"
+            )
+        if b is None:
+            b = np.ones(a.n_rows, dtype=np.float64)
+        else:
+            b = np.asarray(b, dtype=np.float64)
+            if b.shape != (a.n_rows,):
+                raise ValueError(
+                    f"{path}: rhs shape {b.shape} does not match the "
+                    f"matrix order {a.n_rows}"
+                )
+        problem = _AlgebraicProblem(
+            a=a, b=b, dofs_per_node=int(dofs_per_node),
+            coordinates=coordinates, source=str(path),
+        )
+        return cls(problem, **kwargs)
+
+    # ------------------------------------------------------------------
     def nullspace(self) -> np.ndarray:
-        """The Neumann null space used for the coarse basis."""
+        """The Neumann null space used for the coarse basis.
+
+        Rigid-body modes for 3-dof problems with coordinates; per-
+        component translations for block problems without geometry (the
+        algebraic ``.mtx`` ingestion path); constants for scalar
+        problems.
+        """
         if self._nullspace is not None:
             return self._nullspace
-        if getattr(self.problem, "dofs_per_node", 1) == 3:
+        d = int(getattr(self.problem, "dofs_per_node", 1))
+        if d == 3 and getattr(self.problem, "coordinates", None) is not None:
             return rigid_body_modes(self.problem.coordinates)
+        if d > 1:
+            return translations_only(self.problem.a.n_rows // d, d)
         return constant_nullspace(self.problem.a.n_rows)
 
     def build_preconditioner(self, precision: Optional[str] = None):
@@ -510,15 +658,21 @@ class SolverSession:
             cache.put(dkey, dec)
         else:
             dec = dec_plan.with_values(problem.a)
+        variant = (
+            "spectral" if cfg.coarse_space == "spectral" else cfg.variant
+        )
         precond = GDSWPreconditioner(
             dec,
             self.nullspace(),
             local_spec=cfg.local,
             coarse_spec=cfg.coarse,
             overlap=cfg.overlap,
-            variant=cfg.variant,
+            variant=variant,
             dim=cfg.dim,
+            extension_spec=cfg.extension,
             adaptive_tol=cfg.adaptive_tol,
+            spectral_tau=cfg.tau,
+            spectral_max_vectors=cfg.max_vectors_per_subdomain,
             coarse_solver=cfg.coarse_solver,
             multilevel_parts=cfg.multilevel_parts,
         )

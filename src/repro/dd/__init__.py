@@ -30,6 +30,9 @@ the Neumann null space:
   (Section V-A.2);
 * :mod:`repro.dd.adaptive` -- the AGDSW eigen-enrichment for
   heterogeneous coefficients (Section III's adaptive variant);
+* :mod:`repro.dd.algebraic` -- the fully algebraic spectral coarse
+  space (local SPSD splittings + GenEO-style eigenproblems; needs no
+  null space or geometry, so arbitrary assembled matrices work);
 * :mod:`repro.dd.multilevel` -- the three-level method (recursive GDSW
   on the coarse problem).
 """
@@ -43,12 +46,14 @@ from repro.dd.two_level import GDSWPreconditioner
 from repro.dd.local_solvers import LocalSolverSpec
 from repro.dd.precision import HalfPrecisionOperator
 from repro.dd.adaptive import build_adaptive_coarse_space
+from repro.dd.algebraic import build_spectral_coarse_space
 from repro.dd.multilevel import MultilevelCoarseSolver
 
 __all__ = [
     "CoarseSpace",
     "MultilevelCoarseSolver",
     "build_adaptive_coarse_space",
+    "build_spectral_coarse_space",
     "Decomposition",
     "GDSWPreconditioner",
     "HalfPrecisionOperator",

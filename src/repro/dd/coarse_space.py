@@ -50,7 +50,13 @@ class CoarseSpace:
         Per coarse component, the ``(nodes, weights)`` partition-of-unity
         data (for the tests).
     variant:
-        ``"gdsw"`` or ``"rgdsw"``.
+        ``"gdsw"``, ``"rgdsw"``, ``"agdsw"`` or ``"spectral"``.
+    eigenvalues:
+        For ``"spectral"`` spaces, the kept generalized eigenvalues per
+        subdomain (ascending); the verify invariants audit these against
+        ``tau``/``max_vectors_per_subdomain``.
+    tau, max_vectors_per_subdomain:
+        The selection parameters the ``"spectral"`` space was built with.
     """
 
     phi_gamma: CsrMatrix
@@ -59,6 +65,9 @@ class CoarseSpace:
     weights: List[Tuple[np.ndarray, np.ndarray]]
     variant: str
     phi: Optional[CsrMatrix] = None
+    eigenvalues: Optional[List[np.ndarray]] = None
+    tau: Optional[float] = None
+    max_vectors_per_subdomain: Optional[int] = None
 
     @property
     def n_coarse(self) -> int:
@@ -76,14 +85,30 @@ class CoarseSpace:
         return float(max(abs(v - 1.0) for v in acc.values()))
 
 
-def _rank_reduce(cols: np.ndarray, tol: float = 1e-10) -> np.ndarray:
-    """Orthonormal basis of the column span (drops dependent columns)."""
+def _rank_reduce(
+    cols: np.ndarray, tol: float = 1e-10, orthonormal: bool = False
+) -> np.ndarray:
+    """Rank-revealing basis of the column span (drops dependent columns).
+
+    By default returns the singular-value-scaled left singular vectors
+    ``u[:, :rank] * s[:rank]`` — orthogonal columns whose Gram matrix is
+    ``diag(s[:rank]**2)``, preserving the magnitude of the input columns
+    (the partition-of-unity weights ride on the column scale, and the
+    historical GDSW/rGDSW bases are built from this form bit-for-bit).
+    With ``orthonormal=True`` the scaling is dropped and the columns are
+    an orthonormal basis (Gram matrix = identity), which is what
+    eigenvector blocks want.  Both spans are identical; the coarse
+    operator ``Phi A0^{-1} Phi^T`` is invariant under the column scaling
+    in exact arithmetic.
+    """
     if cols.size == 0:
         return cols.reshape(cols.shape[0], 0)
     u, s, _ = np.linalg.svd(cols, full_matrices=False)
     if s.size == 0 or s[0] == 0.0:
         return cols[:, :0]
     rank = int(np.sum(s > tol * s[0]))
+    if orthonormal:
+        return u[:, :rank].copy()
     return u[:, :rank] * s[:rank]
 
 

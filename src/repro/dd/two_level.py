@@ -59,8 +59,11 @@ class GDSWPreconditioner:
     overlap:
         Algebraic overlap layers (paper: 1).
     variant:
-        ``"rgdsw"`` (paper default), ``"gdsw"``, or ``"agdsw"`` (the
-        adaptive enrichment for heterogeneous coefficients; Section III).
+        ``"rgdsw"`` (paper default), ``"gdsw"``, ``"agdsw"`` (the
+        adaptive enrichment for heterogeneous coefficients; Section
+        III), or ``"spectral"`` (the fully algebraic SPSD-splitting /
+        GenEO coarse space of :mod:`repro.dd.algebraic` -- ignores
+        ``nullspace`` and needs no geometry).
     dim:
         Spatial dimension for interface classification.
     extension_spec:
@@ -69,6 +72,12 @@ class GDSWPreconditioner:
     adaptive_tol:
         Eigenvalue threshold of the AGDSW enrichment (only used with
         ``variant="agdsw"``).
+    spectral_tau:
+        Eigenvalue threshold of the algebraic spectral coarse space
+        (only used with ``variant="spectral"``).
+    spectral_max_vectors:
+        Per-subdomain cap on spectral coarse vectors (only used with
+        ``variant="spectral"``).
     coarse_solver:
         ``"direct"`` (default) factors ``A0`` exactly; ``"multilevel"``
         builds a second GDSW level on the coarse problem and solves it
@@ -94,6 +103,8 @@ class GDSWPreconditioner:
         dim: int = 3,
         extension_spec: Optional[LocalSolverSpec] = None,
         adaptive_tol: float = 1e-2,
+        spectral_tau: float = 1e-2,
+        spectral_max_vectors: int = 8,
         coarse_solver: str = "direct",
         multilevel_parts: int = 4,
         reuse_from: "GDSWPreconditioner | None" = None,
@@ -112,6 +123,8 @@ class GDSWPreconditioner:
         self._dim = dim
         self._extension_spec = extension_spec
         self._adaptive_tol = adaptive_tol
+        self._spectral_tau = spectral_tau
+        self._spectral_max_vectors = spectral_max_vectors
 
         tr = get_tracer()
 
@@ -146,6 +159,17 @@ class GDSWPreconditioner:
                 self.space: CoarseSpace = build_adaptive_coarse_space(
                     dec, self.analysis, nullspace, tol=adaptive_tol
                 )
+            elif variant == "spectral":
+                from repro.dd.algebraic import build_spectral_coarse_space
+
+                self.space = build_spectral_coarse_space(
+                    dec,
+                    self.analysis,
+                    tau=spectral_tau,
+                    max_vectors_per_subdomain=spectral_max_vectors,
+                    node_sets=self.one_level.node_sets,
+                )
+                sp.annotate(tau=spectral_tau)
             else:
                 self.space = build_coarse_space(
                     dec, self.analysis, nullspace, variant=variant
@@ -334,6 +358,8 @@ class GDSWPreconditioner:
                 dim=self._dim,
                 extension_spec=self._extension_spec,
                 adaptive_tol=self._adaptive_tol,
+                spectral_tau=self._spectral_tau,
+                spectral_max_vectors=self._spectral_max_vectors,
                 coarse_solver=self._coarse_solver_kind,
                 multilevel_parts=self._multilevel_parts,
                 reuse_from=self,

@@ -55,13 +55,23 @@ def read_matrix_market(path: PathLike) -> CsrMatrix:
             n_rows, n_cols, nnz = (int(t) for t in line.split())
         except Exception as exc:  # pragma: no cover - malformed input
             raise ValueError(f"{path}: bad size line {line!r}") from exc
+        # symmetric storage only makes sense for square matrices;
+        # mirroring a rectangular lower triangle would scatter entries
+        # out of bounds or silently drop them
+        if symmetry == "symmetric" and n_rows != n_cols:
+            raise ValueError(
+                f"{path}: symmetric matrix must be square, "
+                f"got {n_rows} x {n_cols}"
+            )
 
+        # pattern entries carry only indices; real/integer need a value
+        need = 2 if field == "pattern" else 3
         rows = np.empty(nnz, dtype=np.int64)
         cols = np.empty(nnz, dtype=np.int64)
         vals = np.empty(nnz, dtype=np.float64)
         for k in range(nnz):
             toks = fh.readline().split()
-            if len(toks) < 2:
+            if len(toks) < need:
                 raise ValueError(f"{path}: truncated at entry {k}")
             rows[k] = int(toks[0]) - 1
             cols[k] = int(toks[1]) - 1

@@ -204,6 +204,36 @@ class SolverService:
         self._operators[op.pattern_fp] = op
         return op.pattern_fp
 
+    def register_matrix_market(
+        self, path, coordinates=None, dofs_per_node: int = 1
+    ) -> str:
+        """Register an operator from a MatrixMarket file.
+
+        Reads ``path`` with :func:`repro.io.read_matrix_market` and
+        registers the matrix like :meth:`register`; the returned pattern
+        fingerprint is what tenants put in
+        :attr:`~repro.serve.request.SolveRequest.matrix_fingerprint`.
+        Arbitrary ``.mtx`` operators have no FEM null space, so pair
+        them with ``SchwarzConfig(coarse_space="spectral")`` unless a
+        null space or coordinates are supplied.
+        """
+        from repro.io import read_matrix_market
+
+        a = read_matrix_market(path)
+        if a.n_rows != a.n_cols:
+            raise ValueError(
+                f"{path}: the solver service needs a square operator, "
+                f"got {a.n_rows} x {a.n_cols}"
+            )
+        if dofs_per_node < 1 or a.n_rows % dofs_per_node:
+            raise ValueError(
+                f"{path}: matrix order {a.n_rows} is not divisible by "
+                f"dofs_per_node={dofs_per_node}"
+            )
+        return self.register(
+            a, coordinates=coordinates, dofs_per_node=dofs_per_node
+        )
+
     def _resolve(self, req: SolveRequest) -> RegisteredOperator:
         if req.matrix is not None:
             fp = pattern_fingerprint(req.matrix)

@@ -26,6 +26,7 @@ from repro.verify.invariants import (
     check_coarse_basis,
     check_overlap_operator,
     check_residual_drift,
+    check_spectral_space,
     verify_run,
 )
 from repro.verify.observers import CycleRecord, GmresInvariantObserver
@@ -45,6 +46,7 @@ __all__ = [
     "check_coarse_basis",
     "check_overlap_operator",
     "check_residual_drift",
+    "check_spectral_space",
     "diff_executions",
     "verify_run",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "check_coarse_basis",
     "check_overlap_operator",
     "check_residual_drift",
+    "check_spectral_space",
     "verify_run",
 ]
 
@@ -84,6 +85,11 @@ class VerifyConfig:
     nullspace_tol:
         Allowed relative residual of reproducing the Neumann null space
         from the interface basis ``Phi_Gamma``.
+    spsd_tol:
+        Allowed relative negativity ``-lambda_min / max|tilde A_i|`` of
+        each subdomain's recomputed local SPSD splitting (spectral
+        coarse spaces only; the splitting is SPSD up to roundoff for
+        the M-matrix-like operators the construction targets).
     strict:
         When run through :class:`~repro.api.SolverSession`, raise
         :class:`VerificationError` on failure instead of only recording
@@ -103,6 +109,7 @@ class VerifyConfig:
     pou_tol: float = 1e-12
     extension_tol: float = 1e-8
     nullspace_tol: float = 1e-10
+    spsd_tol: float = 1e-8
     strict: bool = True
     diff_distributed: bool = False
     audit_cost_model: bool = False
@@ -344,6 +351,93 @@ def check_coarse_basis(
     return checks
 
 
+def check_spectral_space(precond, config: VerifyConfig) -> List[InvariantCheck]:
+    """SPSD-splitting and eigenvalue-threshold invariants (spectral only).
+
+    * **eigenvalue threshold** -- every kept generalized eigenvalue
+      beyond each subdomain's guaranteed first mode satisfies
+      ``lambda <= tau``, and no subdomain exceeds
+      ``max_vectors_per_subdomain`` (the selection contract of
+      :func:`repro.dd.algebraic.subdomain_spectral_modes`);
+    * **SPSD splitting** -- each subdomain's local splitting
+      ``tilde A_i`` (recomputed from the assembled matrix) has
+      ``lambda_min >= -spsd_tol * max|tilde A_i|``, i.e. the algebraic
+      Neumann correction produced a positive semi-definite local
+      operator.  Subdomains whose patch exceeds ``spd_check_cap`` dofs
+      skip the dense eigenvalue check (cost control).
+
+    Returns no checks for non-spectral preconditioners.
+    """
+    inner = _unwrap(precond)
+    space = inner.space
+    if space.variant != "spectral" or space.eigenvalues is None:
+        return []
+    tau = float(space.tau)
+    max_vec = int(space.max_vectors_per_subdomain)
+
+    worst_excess = 0.0
+    worst_count = 0
+    for evals in space.eigenvalues:
+        if evals.size > max_vec:
+            worst_count = max(worst_count, int(evals.size))
+        # the first mode is the always-kept floor; the rest must clear tau
+        if evals.size > 1:
+            worst_excess = max(worst_excess, float(np.max(evals[1:]) - tau))
+    checks = [
+        InvariantCheck(
+            "spectral/eigenvalue_threshold",
+            max(worst_excess, 0.0),
+            0.0,
+            worst_excess <= 0.0 and worst_count <= max_vec,
+            f"tau {tau:g}, cap {max_vec}, "
+            f"{sum(e.size for e in space.eigenvalues)} modes over "
+            f"{len(space.eigenvalues)} subdomains"
+            + (f"; a subdomain kept {worst_count}" if worst_count else ""),
+        )
+    ]
+
+    from repro.dd.algebraic import local_spsd_splitting
+    from repro.dd.overlap import overlapping_subdomains
+
+    dec = inner.dec
+    analysis = inner.analysis
+    node_sets = getattr(inner.one_level, "node_sets", None)
+    if node_sets is None:
+        node_sets = overlapping_subdomains(dec, 1)
+    worst_neg, checked, skipped = 0.0, 0, 0
+    for rank in range(dec.n_subdomains):
+        gamma_nodes = np.asarray(
+            sorted(
+                node
+                for node, owners in analysis.node_adjacency.items()
+                if rank in owners
+            ),
+            dtype=np.int64,
+        )
+        if gamma_nodes.size == 0:
+            continue
+        patch_nodes = np.union1d(node_sets[rank], gamma_nodes)
+        if patch_nodes.size * dec.dofs_per_node > config.spd_check_cap:
+            skipped += 1
+            continue
+        a_tilde, _ = local_spsd_splitting(dec, gamma_nodes, patch_nodes)
+        evs = np.linalg.eigvalsh(a_tilde)
+        scale = max(float(np.max(np.abs(a_tilde))), 1e-300)
+        worst_neg = max(worst_neg, float(-evs[0]) / scale)
+        checked += 1
+    checks.append(
+        InvariantCheck(
+            "spectral/spsd_splitting",
+            worst_neg,
+            config.spsd_tol,
+            worst_neg <= config.spsd_tol,
+            f"{checked} subdomain splittings eig-checked, {skipped} over "
+            f"the {config.spd_check_cap}-dof cap",
+        )
+    )
+    return checks
+
+
 # ----------------------------------------------------------------------
 def verify_run(
     a,
@@ -372,6 +466,7 @@ def verify_run(
         report.extend(observer.checks(config, beta0=beta0))
     report.extend(check_overlap_operator(precond, config))
     report.extend(check_coarse_basis(precond, config, nullspace=nullspace))
+    report.extend(check_spectral_space(precond, config))
     if config.diff_distributed:
         from repro.verify.diff import diff_executions
 

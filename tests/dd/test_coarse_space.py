@@ -140,3 +140,55 @@ class TestExtension:
         a0 = m.a0.todense()
         np.testing.assert_allclose(a0, a0.T, atol=1e-8 * np.abs(a0).max())
         assert np.linalg.eigvalsh(a0)[0] > 0
+
+
+class TestRankReduce:
+    """Regression for the _rank_reduce contract: the returned columns'
+    Gram matrix must match the documented semantics in both modes."""
+
+    def test_default_gram_is_diag_of_squared_singular_values(self):
+        from repro.dd.coarse_space import _rank_reduce
+
+        rng = np.random.default_rng(5)
+        cols = rng.standard_normal((12, 4))
+        cols[:, 3] = 2.0 * cols[:, 0] - cols[:, 1]  # dependent column
+        out = _rank_reduce(cols)
+        assert out.shape == (12, 3)
+        s = np.linalg.svd(cols, compute_uv=False)
+        gram = out.T @ out
+        np.testing.assert_allclose(gram, np.diag(s[:3] ** 2), atol=1e-10)
+        # the scaled form preserves the column span
+        proj, *_ = np.linalg.lstsq(out, cols, rcond=None)
+        np.testing.assert_allclose(out @ proj, cols, atol=1e-10)
+
+    def test_orthonormal_gram_is_identity(self):
+        from repro.dd.coarse_space import _rank_reduce
+
+        rng = np.random.default_rng(6)
+        cols = rng.standard_normal((10, 5))
+        cols[:, 4] = cols[:, 2]
+        out = _rank_reduce(cols, orthonormal=True)
+        assert out.shape == (10, 4)
+        np.testing.assert_allclose(out.T @ out, np.eye(4), atol=1e-12)
+
+    def test_empty_and_zero_inputs(self):
+        from repro.dd.coarse_space import _rank_reduce
+
+        empty = _rank_reduce(np.zeros((7, 0)))
+        assert empty.shape == (7, 0)
+        zero = _rank_reduce(np.zeros((7, 3)), orthonormal=True)
+        assert zero.shape == (7, 0)
+
+    def test_gdsw_basis_unchanged_by_orthonormal_option(self, elas_dec, elas_analysis, elas):
+        """The default (scaled) mode is what build_coarse_space uses;
+        its output must be byte-stable against the option's addition."""
+        z = rigid_body_modes(elas.coordinates)
+        cs = build_coarse_space(elas_dec, elas_analysis, z, variant="rgdsw")
+        cs2 = build_coarse_space(elas_dec, elas_analysis, z, variant="rgdsw")
+        np.testing.assert_array_equal(
+            cs.phi_gamma.data, cs2.phi_gamma.data
+        )
+        # scaled columns: per-block Gram diagonal, not identity
+        pg = cs.phi_gamma.todense()
+        gram = pg.T @ pg
+        assert not np.allclose(np.diag(gram), 1.0)

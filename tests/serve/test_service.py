@@ -246,3 +246,47 @@ class TestPoolAndPinning:
         pooled = next(iter(service.pool._sessions.values()))
         assert pooled.setups == 1
         service.close()
+
+
+class TestMatrixMarketIngestion:
+    def test_register_mtx_and_solve_by_fingerprint(self, laplace, cache, tmp_path):
+        """An operator ingested from disk serves fingerprint-only
+        requests exactly like one registered in memory -- including with
+        the fully algebraic spectral coarse space, which needs neither
+        coordinates nor a null space."""
+        from repro.api import SchwarzConfig
+        from repro.io import write_matrix_market
+
+        path = tmp_path / "op.mtx"
+        write_matrix_market(path, laplace.a)
+        service = SolverService()
+        fp = service.register_matrix_market(path)
+        resp = service.solve(SolveRequest(
+            rhs=laplace.b, matrix_fingerprint=fp, tenant="mm",
+            partition=(2, 2, 1),
+            config=SchwarzConfig(coarse_space="spectral", tau=0.1),
+        ))
+        assert resp.status is SolveStatus.CONVERGED
+        assert resp.converged
+        r = laplace.b - laplace.a @ resp.x
+        assert np.linalg.norm(r) / np.linalg.norm(laplace.b) < 1e-6
+        service.close()
+
+    def test_register_mtx_rejects_nonsquare(self, cache, tmp_path):
+        from repro.io import write_matrix_market
+        from repro.sparse import CsrMatrix
+
+        path = tmp_path / "rect.mtx"
+        write_matrix_market(
+            path, CsrMatrix.from_dense(np.ones((3, 2)))
+        )
+        with pytest.raises(ValueError, match="square"):
+            SolverService().register_matrix_market(path)
+
+    def test_register_mtx_rejects_bad_dofs(self, laplace, cache, tmp_path):
+        from repro.io import write_matrix_market
+
+        path = tmp_path / "op.mtx"
+        write_matrix_market(path, laplace.a)
+        with pytest.raises(ValueError, match="divisible"):
+            SolverService().register_matrix_market(path, dofs_per_node=7)
