@@ -78,6 +78,13 @@ class GDSWPreconditioner:
     spectral_max_vectors:
         Per-subdomain cap on spectral coarse vectors (only used with
         ``variant="spectral"``).
+    spectral_drift_tol:
+        Relative values-drift threshold above which a same-pattern
+        :meth:`refactor` recomputes the spectral eigenvectors instead of
+        reusing them (only used with ``variant="spectral"``).  Defaults
+        to ``0.1 * spectral_tau``: drift well inside the eigenvalue
+        threshold's sensitivity cannot move vectors across the ``tau``
+        cut, so they are safe to keep.
     coarse_solver:
         ``"direct"`` (default) factors ``A0`` exactly; ``"multilevel"``
         builds a second GDSW level on the coarse problem and solves it
@@ -105,6 +112,7 @@ class GDSWPreconditioner:
         adaptive_tol: float = 1e-2,
         spectral_tau: float = 1e-2,
         spectral_max_vectors: int = 8,
+        spectral_drift_tol: Optional[float] = None,
         coarse_solver: str = "direct",
         multilevel_parts: int = 4,
         reuse_from: "GDSWPreconditioner | None" = None,
@@ -125,6 +133,10 @@ class GDSWPreconditioner:
         self._adaptive_tol = adaptive_tol
         self._spectral_tau = spectral_tau
         self._spectral_max_vectors = spectral_max_vectors
+        self._spectral_drift_tol = (
+            0.1 * spectral_tau if spectral_drift_tol is None else spectral_drift_tol
+        )
+        self._spectral_ref_values: Optional[np.ndarray] = None
 
         tr = get_tracer()
 
@@ -169,6 +181,7 @@ class GDSWPreconditioner:
                     max_vectors_per_subdomain=spectral_max_vectors,
                     node_sets=self.one_level.node_sets,
                 )
+                self._spectral_ref_values = dec.a.data.copy()
                 sp.annotate(tau=spectral_tau)
             else:
                 self.space = build_coarse_space(
@@ -260,6 +273,49 @@ class GDSWPreconditioner:
         return self.space.n_coarse
 
     # ------------------------------------------------------------------
+    def _refresh_spectral_space(self, dec_new: Decomposition) -> None:
+        """Drift-gated spectral coarse-space reuse for :meth:`refactor`.
+
+        The spectral (GenEO/SPSD) coarse vectors are *value*-dependent,
+        unlike the pattern-only GDSW/rGDSW interface basis.  Recomputing
+        the per-subdomain eigenproblems on every refactorization would
+        erase most of the reuse win, so the refactor path keeps the
+        vectors while the values drift (relative inf-norm against the
+        values they were computed from) stays within
+        ``spectral_drift_tol`` -- drift far inside the ``tau``
+        eigenvalue cut cannot move vectors across it.  Past the
+        threshold the space is rebuilt from the same interface analysis
+        and overlap node sets, which makes the result bit-identical to a
+        cold construction over the new values.
+        """
+        tr = get_tracer()
+        ref = self._spectral_ref_values
+        new_values = dec_new.a.data
+        scale = float(np.max(np.abs(ref))) if ref is not None else 0.0
+        if ref is None or scale == 0.0:
+            drift = np.inf
+        else:
+            drift = float(np.max(np.abs(new_values - ref))) / scale
+        if drift <= self._spectral_drift_tol:
+            with tr.span("reuse/spectral_reuse") as sp:
+                sp.annotate(drift=drift, tol=self._spectral_drift_tol)
+                sp.count("spectral_vectors_reused", float(self.space.n_coarse))
+            return
+        from repro.dd.algebraic import build_spectral_coarse_space
+
+        with tr.span("reuse/spectral_rebuild") as sp:
+            sp.annotate(drift=drift, tol=self._spectral_drift_tol)
+            self.space = build_spectral_coarse_space(
+                dec_new,
+                self.analysis,
+                tau=self._spectral_tau,
+                max_vectors_per_subdomain=self._spectral_max_vectors,
+                node_sets=self.one_level.node_sets,
+            )
+            self._spectral_ref_values = new_values.copy()
+            sp.count("coarse_dim", float(self.space.n_coarse))
+
+    # ------------------------------------------------------------------
     def refactor(self, a_new: CsrMatrix) -> None:
         """Numeric-only refactorization for a same-pattern matrix.
 
@@ -278,7 +334,13 @@ class GDSWPreconditioner:
         dec_new = self.dec.with_values(a_new)
         self.dec = dec_new
         self.one_level.refactor(dec_new)
+        if self.variant == "spectral":
+            self._refresh_spectral_space(dec_new)
         if self.space.n_coarse == 0:
+            self.phi = None
+            self.a0 = None
+            self.coarse = None
+            self._compute_phi_rank_nnz()
             return
         with tr.span("reuse/extension_refactor") as sp:
             phi, ext_spgemm, ext_ranks = energy_minimizing_extension(
@@ -301,9 +363,9 @@ class GDSWPreconditioner:
             sp.count("flops", float(self._a0_flops))
             sp.count("nnz", float(a0_new.nnz))
         with tr.span("reuse/coarse_refactor") as sp:
-            same_pattern = pattern_fingerprint(a0_new) == pattern_fingerprint(
-                self.a0
-            )
+            same_pattern = self.a0 is not None and pattern_fingerprint(
+                a0_new
+            ) == pattern_fingerprint(self.a0)
             self.a0 = a0_new
             if same_pattern and isinstance(self.coarse, FactoredLocal):
                 sp.annotate(reused_symbolic=self.coarse.symbolic_reusable)
@@ -360,6 +422,44 @@ class GDSWPreconditioner:
                 adaptive_tol=self._adaptive_tol,
                 spectral_tau=self._spectral_tau,
                 spectral_max_vectors=self._spectral_max_vectors,
+                spectral_drift_tol=self._spectral_drift_tol,
+                coarse_solver=self._coarse_solver_kind,
+                multilevel_parts=self._multilevel_parts,
+                reuse_from=self,
+            )
+
+    def split_subdomain(self, rank: int) -> "GDSWPreconditioner":
+        """The preconditioner repaired after bisecting subdomain ``rank``.
+
+        The *respawn* side of elastic scaling
+        (:meth:`~repro.dd.decomposition.Decomposition.split_subdomain`):
+        the heaviest subdomain is bisected and the new half handed to a
+        fresh rank appended at the end of the partition.  Matrix values
+        are unchanged, so -- exactly as in :meth:`remove_subdomain` --
+        one-level local factorizations whose overlapping dof sets
+        survive the split are reused through ``reuse_from`` and only the
+        split region refactors.  The coarse level is rebuilt because the
+        interface gained a new cut.
+        """
+        dec_new = self.dec.split_subdomain(rank)
+        with get_tracer().span("elastic/precond_repair") as sp:
+            sp.annotate(
+                split_rank=int(rank),
+                n_subdomains=int(dec_new.n_subdomains),
+            )
+            return GDSWPreconditioner(
+                dec_new,
+                self._nullspace,
+                local_spec=self.local_spec,
+                coarse_spec=self._coarse_spec,
+                overlap=self.one_level.overlap,
+                variant=self.variant,
+                dim=self._dim,
+                extension_spec=self._extension_spec,
+                adaptive_tol=self._adaptive_tol,
+                spectral_tau=self._spectral_tau,
+                spectral_max_vectors=self._spectral_max_vectors,
+                spectral_drift_tol=self._spectral_drift_tol,
                 coarse_solver=self._coarse_solver_kind,
                 multilevel_parts=self._multilevel_parts,
                 reuse_from=self,

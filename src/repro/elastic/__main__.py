@@ -1,0 +1,71 @@
+"""Elastic-chaos driver: the straggler bench as an executable check.
+
+``PYTHONPATH=src python -m repro.elastic`` runs
+:func:`~repro.elastic.bench.run_elastic_bench` -- the no-trigger
+identity gate, the straggler + load-surge static-vs-elastic comparison,
+and the bounded-staleness pricing check -- and writes
+``BENCH_elastic.json``.  The CI ``elastic-chaos`` job fails (exit 1)
+when the ``violations`` list is non-empty.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.elastic",
+        description="straggler + load-surge elastic serving bench",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--requests", type=int, default=48, help="trace length per arm"
+    )
+    parser.add_argument(
+        "--elements", type=int, default=5, help="Laplace bricks per axis"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_elastic.json", help="result JSON path"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the full document"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.elastic.bench import run_elastic_bench
+
+    doc = run_elastic_bench(
+        seed=args.seed, n_requests=args.requests, elements=args.elements
+    )
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        st, el = doc["static"], doc["elastic"]
+        print(
+            f"static   makespan {st['makespan_seconds']:.4f}s  "
+            f"slo-violations {st['slo_violation_rate']:.3f}"
+        )
+        print(
+            f"elastic  makespan {el['makespan_seconds']:.4f}s  "
+            f"slo-violations {el['slo_violation_rate']:.3f}  "
+            f"scales {el['scale_events']}"
+        )
+        print(
+            f"async    {doc['staleness']['async_seconds']:.4f}s vs "
+            f"sync {doc['staleness']['sync_seconds']:.4f}s"
+        )
+    for v in doc["violations"]:
+        print(f"VIOLATION: {v}", file=sys.stderr)
+    print(f"wrote {args.out}")
+    return 1 if doc["violations"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

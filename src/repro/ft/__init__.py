@@ -33,7 +33,13 @@ from repro.ft.driver import (
     FtReport,
     solve_fault_tolerant,
 )
-from repro.ft.plan import PHASES, RankFailure, RankFailurePlan
+from repro.ft.plan import (
+    PHASES,
+    RankFailure,
+    RankFailurePlan,
+    SlowRank,
+    StragglerPlan,
+)
 from repro.ft.recovery import (
     interpolated_restart,
     local_fingerprints,
@@ -48,6 +54,8 @@ __all__ = [
     "CHECKPOINT_TAG",
     "RankFailure",
     "RankFailurePlan",
+    "SlowRank",
+    "StragglerPlan",
     "RankFailedError",
     "FaultTolerantComm",
     "CheckpointStore",

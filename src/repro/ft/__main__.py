@@ -59,7 +59,7 @@ def _session(problem, ft_config):
         problem,
         partition=(2, 2, 1),
         krylov=KrylovConfig(rtol=_RTOL),
-        policy=ft_config,
+        policy=ft_config or None,
     )
 
 
@@ -128,9 +128,10 @@ def _control_cell(problem, seed: int):
 
 def _fault_free_cell(problem, baseline):
     """Protected but fault-free: bit-identity + checkpoint overhead."""
+    from repro.ft import FaultToleranceConfig
     from repro.runtime.layout import JobLayout
 
-    res = _session(problem, True).solve()
+    res = _session(problem, FaultToleranceConfig()).solve()
     identical = bool(
         np.array_equal(res.x, baseline.x)
         and res.iterations == baseline.iterations

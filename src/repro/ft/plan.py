@@ -1,4 +1,4 @@
-"""Seeded rank-failure plans: which rank dies, when.
+"""Seeded rank-failure and slow-rank (straggler) plans.
 
 A :class:`RankFailurePlan` is the rank-loss analogue of
 :class:`repro.resilience.inject.FaultPlan`: a deterministic, seeded
@@ -8,16 +8,31 @@ index of the communication operation within that phase, so a test can
 kill rank 2 "during the 30th apply-phase message" and get exactly the
 same death on every run -- the property the CI ``chaos-ft`` matrix
 depends on.
+
+A :class:`StragglerPlan` describes the *degraded-but-alive* failure
+mode in between healthy and dead: a rank whose kernel and message times
+are inflated by a factor for a window of model seconds.  The plan is
+pure description -- pricing happens in :mod:`repro.runtime.timings`
+(``rank_factors=``), message accounting in
+:class:`~repro.runtime.simmpi.SimComm` (``slow_plan=``), and the
+scale-around reaction in :mod:`repro.elastic`.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Union
 
 import numpy as np
 
-__all__ = ["PHASES", "RankFailure", "RankFailurePlan"]
+__all__ = [
+    "PHASES",
+    "RankFailure",
+    "RankFailurePlan",
+    "SlowRank",
+    "StragglerPlan",
+]
 
 #: the solver phases a failure can be scheduled in:
 #: ``setup`` -- during preconditioner construction (overlap import);
@@ -134,3 +149,165 @@ class RankFailurePlan:
             f"rank {f.rank} dies at {f.phase} op {f.op_index}"
             for f in self.failures
         ) or "no failures scheduled"
+
+
+@dataclass(frozen=True)
+class SlowRank:
+    """One scheduled slowdown window.
+
+    Attributes
+    ----------
+    rank:
+        The physical rank that slows down (the plan describes *hosts*;
+        elastic repartitions remap subdomains over them).
+    factor:
+        Multiplier on the rank's kernel and message times while the
+        window is active; ``factor >= 1``.
+    start:
+        Window start, in model seconds on the run's clock.
+    duration:
+        Window length in model seconds (``math.inf`` for a permanent
+        degradation).
+    """
+
+    rank: int
+    factor: float
+    start: float = 0.0
+    duration: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.factor < 1.0:
+            raise ValueError(
+                f"slowdown factor must be >= 1, got {self.factor}"
+            )
+        if self.start < 0.0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.duration <= 0.0:
+            raise ValueError(
+                f"duration must be positive, got {self.duration}"
+            )
+
+    def active_at(self, t: float) -> bool:
+        """Whether the window covers model time ``t``."""
+        return self.start <= t < self.start + self.duration
+
+
+class StragglerPlan:
+    """A deterministic set of scheduled slow-rank windows.
+
+    The time axis is the *model clock* of whatever run consumes the
+    plan (the serving clock for :class:`~repro.serve.service.SolverService`,
+    a solve-relative clock for standalone pricing).  Overlapping windows
+    on the same rank compose by taking the worst (largest) factor.
+    """
+
+    def __init__(
+        self,
+        slow_ranks: Union[SlowRank, Iterable[SlowRank]],
+        seed: int = 0,
+    ) -> None:
+        if isinstance(slow_ranks, SlowRank):
+            slow_ranks = [slow_ranks]
+        self.slow_ranks: List[SlowRank] = list(slow_ranks)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(
+        cls,
+        rank: int,
+        factor: float,
+        start: float = 0.0,
+        duration: float = math.inf,
+        seed: int = 0,
+    ) -> "StragglerPlan":
+        """Plan slowing exactly one rank for one window."""
+        return cls(SlowRank(rank, factor, start, duration), seed=seed)
+
+    @classmethod
+    def random_stragglers(
+        cls,
+        n_ranks: int,
+        count: int = 1,
+        seed: int = 0,
+        factor_range: Sequence[float] = (2.0, 8.0),
+        horizon: float = 100.0,
+        duration_range: Sequence[float] = (10.0, 50.0),
+    ) -> "StragglerPlan":
+        """A seeded random plan of ``count`` slowdowns (for soak tests)."""
+        rng = np.random.default_rng(seed)
+        lo_f, hi_f = float(factor_range[0]), float(factor_range[1])
+        lo_d, hi_d = float(duration_range[0]), float(duration_range[1])
+        slow = [
+            SlowRank(
+                rank=int(rng.integers(n_ranks)),
+                factor=float(lo_f + (hi_f - lo_f) * rng.random()),
+                start=float(horizon * rng.random()),
+                duration=float(lo_d + (hi_d - lo_d) * rng.random()),
+            )
+            for _ in range(count)
+        ]
+        return cls(slow, seed=seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def ranks(self) -> List[int]:
+        """Distinct physical ranks with at least one window (sorted)."""
+        return sorted({s.rank for s in self.slow_ranks})
+
+    def factor_at(self, rank: int, t: float) -> float:
+        """Inflation factor of ``rank`` at model time ``t`` (1.0 if healthy)."""
+        factor = 1.0
+        for s in self.slow_ranks:
+            if s.rank == rank and s.active_at(t):
+                factor = max(factor, s.factor)
+        return factor
+
+    def factors_at(self, t: float, n_ranks: int) -> np.ndarray:
+        """Per-rank inflation factors at model time ``t`` (length ``n_ranks``)."""
+        out = np.ones(n_ranks, dtype=np.float64)
+        for s in self.slow_ranks:
+            if s.rank < n_ranks and s.active_at(t):
+                out[s.rank] = max(out[s.rank], s.factor)
+        return out
+
+    def slow_at(self, t: float) -> List[int]:
+        """Ranks with an active window at model time ``t`` (sorted)."""
+        return sorted({s.rank for s in self.slow_ranks if s.active_at(t)})
+
+    def remaining(self, rank: int, t: float) -> float:
+        """Model seconds of slowdown left for ``rank`` at time ``t``.
+
+        Zero when no window of ``rank`` is active at ``t``; the maximum
+        remaining span when several overlap.
+        """
+        rem = 0.0
+        for s in self.slow_ranks:
+            if s.rank == rank and s.active_at(t):
+                rem = max(rem, s.start + s.duration - t)
+        return rem
+
+    # -- SimComm hook ---------------------------------------------------
+    def is_slow_channel(self, src: int, dst: int, tag: int) -> bool:
+        """Whether a message on ``(src, dst, tag)`` touches a slow rank.
+
+        :class:`~repro.runtime.simmpi.SimComm` consults this (as
+        ``slow_plan``) on every send to tally ``delayed`` messages --
+        the op-count honesty check that the straggler's traffic really
+        crosses the channels the pricing inflates.  Window timing is
+        ignored here: the sequential simulator has no clock, so any
+        planned window marks the rank's channels.
+        """
+        slow = {s.rank for s in self.slow_ranks}
+        return src in slow or dst in slow
+
+    def describe(self) -> str:
+        """One line per scheduled slowdown."""
+        return "; ".join(
+            f"rank {s.rank} x{s.factor:g} for "
+            + ("ever" if math.isinf(s.duration) else f"{s.duration:g}s")
+            + f" from t={s.start:g}"
+            for s in self.slow_ranks
+        ) or "no stragglers scheduled"

@@ -29,9 +29,12 @@ Span taxonomy (the names the instrumented stack emits)::
     factor/symbolic      factor/numeric       comm/message
     reuse/skip_setup     reuse/refactor       reuse/local_refactor
     reuse/extension_refactor  reuse/coarse_refactor  reuse/recycle
+    reuse/spectral_reuse reuse/spectral_rebuild
     serve/batch          serve/solve
     serve/admit          serve/shed           serve/retry
-    serve/degrade
+    serve/degrade        serve/autoscale
+    ft/precond_repair    elastic/precond_repair
+    elastic/scale_out    elastic/scale_in     elastic/scale_around
 
 Counters use fixed keys: ``flops``, ``bytes``, ``launches`` (from
 kernel profiles), ``reduces``, ``reduce_doubles`` (global reductions),
@@ -41,6 +44,11 @@ serving spans ``batch_width``, ``block_width`` and
 The SLO-guard spans count ``admitted``, ``shed``, ``retries`` and
 ``degraded_batches``; ``serve/shed`` annotates the shed reason and
 ``serve/degrade`` the ladder rungs and pressure that triggered them.
+The elastic runtime adds ``delayed_messages`` (traffic crossing a
+straggler's channels, from :class:`~repro.runtime.simmpi.SimComm`),
+``reuse_invalidations`` (repartition dropping a pinned artifact), and
+on the ``elastic/*`` spans ``repartition_seconds`` and the
+scale-decision annotations (rank, reason, projected relief).
 """
 
 from __future__ import annotations

@@ -42,9 +42,13 @@ __all__ = [
     "RecoveryPolicy",
 ]
 
-#: every action kind the resilience subsystem can record; the final
-#: three are the rank-loss rung (process death is beyond any local
-#: remedy -- the ladder's last resort, handled by :mod:`repro.ft`)
+#: every action kind the resilience subsystem can record;
+#: ``rank_shrink`` / ``rank_respawn`` / ``interpolated_restart`` are the
+#: rank-loss rung (process death is beyond any local remedy -- the
+#: ladder's last resort, handled by :mod:`repro.ft`), and
+#: ``rank_scale_in`` / ``rank_scale_out`` are the *planned* analogues:
+#: the same merge/split repartitions invoked deliberately by the elastic
+#: scaling policy of :mod:`repro.elastic` rather than forced by a death
 ACTION_KINDS = (
     "boost_damping",
     "diagonal_shift",
@@ -58,6 +62,8 @@ ACTION_KINDS = (
     "rank_shrink",
     "rank_respawn",
     "interpolated_restart",
+    "rank_scale_in",
+    "rank_scale_out",
 )
 
 #: the *service*-level rung above the solver ladder: what
@@ -71,6 +77,9 @@ SERVICE_ACTION_KINDS = (
     "degrade_rtol",
     "degrade_precision",
     "degrade_one_level",
+    "scale_out",
+    "scale_in",
+    "scale_around",
 )
 
 #: the fallback chain (rung above each solver kind)

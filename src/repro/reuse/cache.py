@@ -92,6 +92,15 @@ class LruDict:
     def keys(self):
         return self._data.keys()
 
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return ``key``'s value (``default`` when absent).
+
+        Removal ignores the ``can_evict`` veto: this is an explicit
+        deletion by a caller that knows the entry is wrong, not an LRU
+        capacity eviction.
+        """
+        return self._data.pop(key, default)
+
     def clear(self) -> None:
         self._data.clear()
 
@@ -149,6 +158,10 @@ class ArtifactCache:
         self._lru[key] = value
         return value
 
+    def keys(self):
+        """Snapshot of the cached keys, LRU order (oldest first)."""
+        return self._lru.keys()
+
     # -- pin-while-in-use ------------------------------------------------
     def pin(self, key: tuple) -> None:
         """Hold ``key`` against LRU eviction (refcounted).
@@ -181,6 +194,24 @@ class ArtifactCache:
             yield
         finally:
             self.unpin(key)
+
+    def invalidate(self, key: tuple) -> bool:
+        """Drop ``key``'s cached artifact even while pinned.
+
+        Pins guard keys against *capacity* eviction; they do not make a
+        value correct.  When a repartition (merge/split) changes the
+        artifact a key's holder must see, the stale value has to go
+        regardless of refcounts -- the holder re-pins the new
+        fingerprint key and puts the repaired artifact there.  Pins on
+        ``key`` are left intact (they still guard the key for a
+        rebuild-and-put).  Returns whether a value was actually dropped,
+        and counts ``reuse_invalidations`` onto the tracer when one was.
+        """
+        sentinel = object()
+        dropped = self._lru.pop(key, sentinel) is not sentinel
+        if dropped:
+            get_tracer().count("reuse_invalidations")
+        return dropped
 
     def clear(self) -> None:
         """Drop every cached artifact and reset the hit/miss tallies.

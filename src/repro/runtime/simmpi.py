@@ -56,6 +56,13 @@ class SimComm:
     ``fault_plan`` lets tests drop (``msg_drop``) or NaN-corrupt
     (``msg_corrupt``) selected messages at the send side; ``dropped``
     counts the messages a fault ate.
+
+    A :class:`~repro.ft.plan.StragglerPlan` attached as ``slow_plan``
+    tallies ``delayed`` for every message whose channel touches a slow
+    rank.  Payloads are never altered (a straggler is late, not wrong);
+    the counter is the op-count evidence that the traffic the pricing
+    layer inflates (``rank_factors=`` in :mod:`repro.runtime.timings`)
+    actually crosses the slow rank's channels.
     """
 
     size: int
@@ -66,7 +73,9 @@ class SimComm:
     reduce_doubles: int = 0
     barriers: int = 0
     dropped: int = 0
+    delayed: int = 0
     fault_plan: Optional[Any] = None
+    slow_plan: Optional[Any] = None
     _queues: Dict[Tuple[int, int, int], Deque[Any]] = field(default_factory=dict)
     _channel_doubles: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
@@ -112,6 +121,11 @@ class SimComm:
                 self.sends += 1
                 return
             payload = self.fault_plan.corrupt_payload(src, dst, tag, payload)
+        if self.slow_plan is not None and self.slow_plan.is_slow_channel(
+            src, dst, tag
+        ):
+            self.delayed += 1
+            get_tracer().count("delayed_messages", 1.0)
         self._queues.setdefault((src, dst, tag), deque()).append(payload)
         self.sends += 1
         nbytes = int(payload.nbytes) if isinstance(payload, np.ndarray) else 0

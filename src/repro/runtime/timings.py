@@ -43,10 +43,32 @@ from repro.runtime.pricing import (
 __all__ = [
     "SolverTimings",
     "block_iteration_seconds",
+    "per_rank_iteration_seconds",
     "spmv_halo_doubles",
     "time_solver",
     "trace_solver",
 ]
+
+
+def _as_rank_factors(rank_factors, n_ranks: int):
+    """Validate per-rank slowdown factors; None means all-healthy.
+
+    Factors multiply a rank's modeled kernel *and* message seconds
+    before the slowest-rank max is taken -- a straggler's inflated cost
+    lands on the critical path exactly when it is the slowest rank (the
+    bulk-synchronous semantics of the paper's runtime).
+    """
+    if rank_factors is None:
+        return None
+    f = np.asarray(rank_factors, dtype=np.float64)
+    if f.shape != (n_ranks,):
+        raise ValueError(
+            f"rank_factors must have one entry per rank ({n_ranks}), "
+            f"got shape {f.shape}"
+        )
+    if np.any(f < 1.0):
+        raise ValueError("rank slowdown factors must be >= 1")
+    return f
 
 
 def spmv_halo_doubles(dec) -> np.ndarray:
@@ -131,6 +153,7 @@ def trace_solver(
     iterations: int,
     reduces: int,
     reduce_doubles: int,
+    rank_factors=None,
 ) -> Tuple[SolverTimings, Span]:
     """Build the priced trace of one configuration and read its timings.
 
@@ -145,6 +168,12 @@ def trace_solver(
       ``krylov/allreduce`` child carrying the reduction counters; the
       phase total is ``iterations x slowest-rank + reduction cost``.
 
+    ``rank_factors`` (optional, one multiplier >= 1 per rank) inflates a
+    rank's setup and per-iteration seconds before the max -- the
+    straggler fault model of :class:`~repro.ft.plan.StragglerPlan`
+    priced onto the critical path.  None is the healthy default and
+    changes nothing.
+
     Parameters match :func:`time_solver`.
     """
     dec = precond.dec
@@ -154,6 +183,7 @@ def trace_solver(
             f"layout has {layout.n_ranks} ranks but the decomposition has "
             f"{n_ranks} subdomains"
         )
+    factors = _as_rank_factors(rank_factors, n_ranks)
 
     root = Span("solver")
     root.annotate(n_ranks=n_ranks, iterations=iterations)
@@ -173,18 +203,21 @@ def trace_solver(
     first_costs = []
     breakdowns = []
     for r in range(n_ranks):
+        factor = 1.0 if factors is None else float(factors[r])
         prof = precond.rank_setup_profile(r, refactorization=True)
-        cost = price_profile(prof, layout)
+        cost = price_profile(prof, layout) * factor
         fams = price_families(prof, layout)
         sp = setup.child("setup/numeric", rank=r)
         sp.add_profile(prof)
         sp.modeled_seconds = cost
         sp.annotate(families=fams)
+        if factor != 1.0:
+            sp.annotate(slow_factor=factor)
         setup_costs.append(cost)
         breakdowns.append(fams)
 
         first = precond.rank_setup_profile(r, refactorization=False)
-        first_cost = price_profile(first, layout)
+        first_cost = price_profile(first, layout) * factor
         fp = setup.child("setup/first", rank=r)
         fp.add_profile(first)
         fp.modeled_seconds = first_cost
@@ -203,16 +236,20 @@ def trace_solver(
     # (a HalfPrecisionOperator halves only the *apply* halo payload)
     spmv_halo = spmv_halo_doubles(dec)
     for r in range(n_ranks):
+        factor = 1.0 if factors is None else float(factors[r])
         prof = _spmv_profile(int(nnz_per_rank[r]), int(rows_per_rank[r]))
         prof.extend(precond.rank_apply_profile(r))
         c = price_profile(prof, layout)
         c += halo_seconds(layout, precond.halo_doubles(r))
         c += halo_seconds(layout, int(spmv_halo[r]))  # spmv halo
+        c *= factor
         sp = solve.child("apply/iteration", rank=r)
         sp.add_profile(prof)
         sp.modeled_seconds = c
         sp.count("halo_doubles", float(precond.halo_doubles(r)))
         sp.count("spmv_halo_doubles", float(spmv_halo[r]))
+        if factor != 1.0:
+            sp.annotate(slow_factor=factor)
         iter_costs.append(c)
     per_iter = float(max(iter_costs)) if iter_costs else 0.0
 
@@ -239,7 +276,52 @@ def trace_solver(
     return timings, root
 
 
-def block_iteration_seconds(precond, layout: JobLayout, width: int) -> float:
+def per_rank_iteration_seconds(
+    precond, layout: JobLayout, width: int = 1, rank_factors=None
+) -> np.ndarray:
+    """Per-rank cost of ONE lockstep block-Krylov iteration.
+
+    The vector whose max :func:`block_iteration_seconds` returns; the
+    elastic :class:`~repro.elastic.policy.ScalingPolicy` reads the whole
+    vector as its per-rank utilization signal (which rank is the
+    critical path, which is nearly idle).  ``rank_factors`` applies the
+    straggler inflation per rank before returning.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    dec = precond.dec
+    n_ranks = dec.n_subdomains
+    factors = _as_rank_factors(rank_factors, n_ranks)
+    a = dec.a
+    row_owner = dec.node_owner[
+        np.repeat(np.arange(a.n_rows, dtype=np.int64), a.row_nnz())
+        // dec.dofs_per_node
+    ]
+    nnz_per_rank = np.bincount(row_owner, minlength=n_ranks)
+    rows_per_rank = np.asarray(
+        [p.size * dec.dofs_per_node for p in dec.node_parts]
+    )
+    spmv_halo = spmv_halo_doubles(dec)
+    costs = np.zeros(n_ranks, dtype=np.float64)
+    for r in range(n_ranks):
+        prof = _spmv_profile(int(nnz_per_rank[r]), int(rows_per_rank[r]))
+        prof.extend(precond.rank_apply_profile(r))
+        c = price_profile(prof.block_scaled(width), layout)
+        c += halo_seconds(layout, width * precond.halo_doubles(r))
+        c += halo_seconds(layout, width * int(spmv_halo[r]))
+        if factors is not None:
+            c *= float(factors[r])
+        costs[r] = c
+    return costs
+
+
+def block_iteration_seconds(
+    precond,
+    layout: JobLayout,
+    width: int,
+    rank_factors=None,
+    exclude_ranks=(),
+) -> float:
     """Slowest-rank cost of ONE lockstep block-Krylov iteration.
 
     The serving layer prices a batched multi-RHS solve with this: every
@@ -253,30 +335,23 @@ def block_iteration_seconds(precond, layout: JobLayout, width: int) -> float:
     construction.  The global-reduction term is *not* included here; the
     block solvers report their own batched reduction counts, priced
     separately with :func:`~repro.runtime.pricing.reduce_seconds`.
+
+    ``rank_factors`` inflates per-rank costs before the max (straggler
+    pricing); ``exclude_ranks`` drops ranks from the max entirely -- the
+    bounded-staleness asynchronous Schwarz iteration does not wait for a
+    stale rank, so its cost leaves the straggler off the critical path
+    until the forced synchronous flush.
     """
-    if width < 1:
-        raise ValueError(f"width must be >= 1, got {width}")
-    dec = precond.dec
-    n_ranks = dec.n_subdomains
-    a = dec.a
-    row_owner = dec.node_owner[
-        np.repeat(np.arange(a.n_rows, dtype=np.int64), a.row_nnz())
-        // dec.dofs_per_node
-    ]
-    nnz_per_rank = np.bincount(row_owner, minlength=n_ranks)
-    rows_per_rank = np.asarray(
-        [p.size * dec.dofs_per_node for p in dec.node_parts]
+    costs = per_rank_iteration_seconds(
+        precond, layout, width, rank_factors=rank_factors
     )
-    spmv_halo = spmv_halo_doubles(dec)
-    worst = 0.0
-    for r in range(n_ranks):
-        prof = _spmv_profile(int(nnz_per_rank[r]), int(rows_per_rank[r]))
-        prof.extend(precond.rank_apply_profile(r))
-        c = price_profile(prof.block_scaled(width), layout)
-        c += halo_seconds(layout, width * precond.halo_doubles(r))
-        c += halo_seconds(layout, width * int(spmv_halo[r]))
-        worst = max(worst, c)
-    return worst
+    if exclude_ranks:
+        keep = np.ones(costs.size, dtype=bool)
+        for r in exclude_ranks:
+            if 0 <= int(r) < costs.size:
+                keep[int(r)] = False
+        costs = costs[keep]
+    return float(costs.max()) if costs.size else 0.0
 
 
 def time_solver(
@@ -285,6 +360,7 @@ def time_solver(
     iterations: int,
     reduces: int,
     reduce_doubles: int,
+    rank_factors=None,
 ) -> SolverTimings:
     """Assemble phase timings for one configuration.
 
@@ -299,6 +375,16 @@ def time_solver(
     iterations, reduces, reduce_doubles:
         From the Krylov result: inner iterations and global-reduction
         counts.
+    rank_factors:
+        Optional per-rank slowdown multipliers (straggler pricing);
+        see :func:`trace_solver`.
     """
-    timings, _ = trace_solver(precond, layout, iterations, reduces, reduce_doubles)
+    timings, _ = trace_solver(
+        precond,
+        layout,
+        iterations,
+        reduces,
+        reduce_doubles,
+        rank_factors=rank_factors,
+    )
     return timings

@@ -50,7 +50,12 @@ from repro.serve.admission import (
     ShardLoadEstimator,
     TokenBucket,
 )
-from repro.serve.batcher import RequestBatch, RequestBatcher, shard_key
+from repro.serve.batcher import (
+    RequestBatch,
+    RequestBatcher,
+    autoscale_max_batch,
+    shard_key,
+)
 from repro.serve.guard import (
     CircuitBreaker,
     DegradationDecision,
@@ -84,5 +89,6 @@ __all__ = [
     "SolveResponse",
     "SolverService",
     "TokenBucket",
+    "autoscale_max_batch",
     "shard_key",
 ]

@@ -82,6 +82,26 @@ class PooledSession:
         self.setups += 1
         return self.precond, False
 
+    def adopt_repartition(self, precond, new_pin_key: tuple) -> None:
+        """Swap in an elastically repaired preconditioner.
+
+        After a merge/split the decomposition the session serves is no
+        longer the one its pin key names.  The swap (1) invalidates the
+        old decomposition artifact -- pinned or not, it describes a
+        partition this session will never serve again -- (2) pins and
+        publishes the repaired decomposition under its own
+        fingerprint key, and (3) releases the old pin.  ``values_fp``
+        is kept: the matrix values did not change, so the next
+        same-values batch memo-hits on the repaired preconditioner.
+        """
+        self.cache.invalidate(self.pin_key)
+        if new_pin_key != self.pin_key:
+            self.cache.pin(new_pin_key)
+            self.cache.unpin(self.pin_key)
+            self.pin_key = new_pin_key
+        self.cache.put(new_pin_key, precond.dec)
+        self.precond = precond
+
 
 class SessionPool:
     """LRU-bounded pool of :class:`PooledSession` objects keyed by shard.
@@ -102,6 +122,18 @@ class SessionPool:
 
     def __contains__(self, shard: Tuple) -> bool:
         return shard in self._sessions
+
+    def get(self, shard: Tuple) -> Optional[PooledSession]:
+        """The pooled session for ``shard`` without building one.
+
+        The elastic scaling policy peeks with this: a shard that has
+        never been served has no session (and no utilization signal),
+        so there is nothing to scale.  Recency is refreshed on hit.
+        """
+        pooled = self._sessions.get(shard)
+        if pooled is not None:
+            self._sessions.move_to_end(shard)
+        return pooled
 
     def acquire(
         self,

@@ -145,24 +145,47 @@ class SolverService:
         Test/chaos hook: a callable ``(batch, attempts) -> None`` run
         before each batch executes; raising simulates a solver fault
         for the whole batch (contained, then retried under ``guard=``).
+    elastic:
+        :class:`~repro.elastic.policy.ElasticConfig` enabling
+        load/health-driven rank scaling: stragglers trigger
+        scale-around (merge the slow rank's subdomain away), backlog
+        triggers scale-out (split the heaviest subdomain), idle
+        capacity scales in.  Every repartition is billed on the modeled
+        clock and gated on projected relief.  None (default) keeps the
+        static rank pool -- bit-identical to the pre-elastic service.
+    stragglers:
+        :class:`~repro.ft.plan.StragglerPlan` pricing seeded slow-rank
+        windows onto the modeled clock (setup and per-iteration costs
+        inflate while a window is active).  Works with or without
+        ``elastic=``: without, the service simply eats the slowdown
+        (the static arm of the elastic benchmark).
     """
 
     def __init__(
         self,
         layout: Optional[JobLayout] = None,
-        max_batch: int = 8,
+        max_batch: "int | str" = 8,
         batching: bool = True,
         pool_size: int = 8,
         admission: Optional[AdmissionConfig] = None,
         guard: Optional[GuardConfig] = None,
         fault_injector: Optional[Callable] = None,
+        elastic: "Optional[object]" = None,
+        stragglers: "Optional[object]" = None,
     ) -> None:
         if layout is None:
             from repro.bench.harness import model_machine
 
             layout = JobLayout.gpu_run(1, 2, machine=model_machine())
         self.layout = layout
-        self.batcher = RequestBatcher(max_batch=max_batch, batching=batching)
+        #: ``max_batch="auto"`` sizes the width cap from the cost model
+        #: (:func:`~repro.serve.batcher.autoscale_max_batch`) at each
+        #: shard's first preconditioner build
+        self._auto_batch = max_batch == "auto"
+        self.batcher = RequestBatcher(
+            max_batch=8 if self._auto_batch else int(max_batch),
+            batching=batching,
+        )
         self.pool = SessionPool(maxsize=pool_size)
         #: the modeled clock, in model seconds since service start
         self.clock = 0.0
@@ -189,6 +212,21 @@ class SolverService:
         self._retry_queue: List[_Retry] = []
         self._attempts: Dict[str, int] = {}
         self._pending_shed: List[SolveResponse] = []
+        # -- elastic runtime state -------------------------------------
+        self._elastic = elastic
+        self._stragglers = stragglers
+        #: scale-out / scale-in / scale-around actions executed
+        self.scale_outs = 0
+        self.scale_ins = 0
+        self.scale_arounds = 0
+        #: total modeled seconds billed to repartitions
+        self.repartition_seconds = 0.0
+        self._scalers: Dict[Tuple, object] = {}
+        self._shard_layouts: Dict[Tuple, JobLayout] = {}
+        # per-shard map: subdomain index -> physical host id (the
+        # StragglerPlan describes hosts; repartitions remap subdomains)
+        self._rank_hosts: Dict[Tuple, List[int]] = {}
+        self._autoscaled: set = set()
 
     # -- operator registry ---------------------------------------------
     def register(
@@ -443,7 +481,11 @@ class SolverService:
         )
 
     def _solve_price(
-        self, result: BlockSolveResult, precond, layout: JobLayout
+        self,
+        result: BlockSolveResult,
+        precond,
+        layout: JobLayout,
+        rank_factors=None,
     ) -> float:
         """Deflation-aware model seconds of the block iteration phase.
 
@@ -454,7 +496,8 @@ class SolverService:
         are priced once from the result's own batched counters.  Under
         a degraded operator the per-iteration kernels are the degraded
         ones (halved bytes, no coarse solve), so the rung's saving is
-        priced, not asserted.
+        priced, not asserted.  ``rank_factors`` (active straggler
+        windows) inflates per-rank costs before the lockstep max.
         """
         depths = sorted(result.iterations)
         k = len(depths)
@@ -464,12 +507,161 @@ class SolverService:
             span = d - prev
             if span > 0:
                 width = k - j
-                secs += span * block_iteration_seconds(precond, layout, width)
+                secs += span * block_iteration_seconds(
+                    precond, layout, width, rank_factors=rank_factors
+                )
             prev = d
         secs += reduce_seconds(
             layout, result.reduces, result.reduce_doubles
         )
         return secs
+
+    # -- elastic runtime ------------------------------------------------
+    def _layout_for_ranks(self, n: int, base: JobLayout) -> JobLayout:
+        """A layout like ``base`` resized to ``n`` ranks.
+
+        GPU layouts stay on GPU when ``n`` still fills whole GPUs
+        (``ranks_per_gpu`` adjusts the MPS share); otherwise the resized
+        pool runs CPU-side on the same machine.
+        """
+        if n == base.n_ranks:
+            return base
+        if base.use_gpu and n % base.machine.gpus_per_node == 0:
+            return JobLayout(
+                nodes=1,
+                ranks_per_node=n,
+                use_gpu=True,
+                ranks_per_gpu=n // base.machine.gpus_per_node,
+                threads_per_rank=base.threads_per_rank,
+                machine=base.machine,
+                tenants=base.tenants,
+            )
+        return JobLayout(
+            nodes=1,
+            ranks_per_node=n,
+            use_gpu=False,
+            threads_per_rank=base.threads_per_rank,
+            machine=base.machine,
+            tenants=base.tenants,
+        )
+
+    def _rank_factors(self, shard: Tuple, t: float, n_ranks: int):
+        """Per-subdomain straggler factors at model time ``t`` (or None).
+
+        The plan speaks in physical host ids; ``_rank_hosts`` tracks
+        which host each subdomain currently occupies across merges and
+        splits.  All-healthy returns None so the healthy pricing path is
+        byte-for-byte the pre-straggler one.
+        """
+        if self._stragglers is None:
+            return None
+        hosts = self._rank_hosts.get(shard)
+        if hosts is None or len(hosts) != n_ranks:
+            hosts = list(range(n_ranks))
+            self._rank_hosts[shard] = hosts
+        factors = np.array(
+            [self._stragglers.factor_at(h, t) for h in hosts],
+            dtype=np.float64,
+        )
+        if np.all(factors == 1.0):
+            return None
+        return factors
+
+    def _reset_elastic_state(self, shard: Tuple) -> None:
+        """Forget a shard's repartition state (its session rebuilt)."""
+        self._shard_layouts.pop(shard, None)
+        self._rank_hosts.pop(shard, None)
+        self._scalers.pop(shard, None)
+
+    def _maybe_scale(
+        self, batch: RequestBatch, layout: JobLayout, start_clock: float
+    ) -> float:
+        """Evaluate (and possibly execute) one scaling action for a shard.
+
+        Runs *before* the batch it was triggered by, so the triggering
+        batch is already served on the repaired partition (reactive
+        repair would let one more straggler-priced batch blow its
+        deadline first).  Returns the modeled repartition seconds billed
+        to the clock (0.0 when the policy holds still).
+        """
+        if self._elastic is None:
+            return 0.0
+        from repro.elastic.policy import ScalingPolicy, repair_seconds
+        from repro.runtime.timings import per_rank_iteration_seconds
+
+        shard = batch.shard
+        pooled = self.pool.get(shard)
+        if pooled is None or pooled.precond is None:
+            return 0.0
+        precond = pooled.precond
+        n = precond.dec.n_subdomains
+        factors = self._rank_factors(shard, start_clock, n)
+        costs = per_rank_iteration_seconds(
+            precond, layout, 1, rank_factors=factors
+        )
+        policy = self._scalers.get(shard)
+        if policy is None:
+            policy = ScalingPolicy(self._elastic)
+            self._scalers[shard] = policy
+        queued = -(-self.batcher.pending_in_shard(shard)
+                   // max(1, self.batcher.max_batch))
+        batch_secs = self._estimator.batch_seconds(shard)
+        decision = policy.decide(
+            start_clock, costs, factors, queued, batch_secs, 0.0
+        )
+        if decision is None:
+            return 0.0
+        # build the candidate repartition and re-bill with its true cost
+        if decision.kind == "scale_out":
+            repaired = precond.split_subdomain(decision.rank)
+        else:
+            repaired = precond.remove_subdomain(decision.rank)
+        cost = repair_seconds(repaired, precond, layout)
+        final = policy.decide(
+            start_clock, costs, factors, queued, batch_secs, cost
+        )
+        if (
+            final is None
+            or final.kind != decision.kind
+            or final.rank != decision.rank
+        ):
+            return 0.0
+        from repro.reuse import partition_fingerprint
+
+        with get_tracer().span(f"elastic/{final.kind}") as sp:
+            sp.annotate(
+                rank=final.rank,
+                reason=final.reason,
+                projected_relief_seconds=final.projected_relief_seconds,
+            )
+            sp.count("repartition_seconds", cost)
+            hosts = self._rank_hosts.get(shard) or list(range(n))
+            if final.kind == "scale_out":
+                fresh = max(
+                    hosts
+                    + (self._stragglers.ranks if self._stragglers else [])
+                ) + 1
+                hosts = hosts + [fresh]
+                self.scale_outs += 1
+            else:
+                hosts = hosts[: final.rank] + hosts[final.rank + 1:]
+                if final.kind == "scale_around":
+                    self.scale_arounds += 1
+                else:
+                    self.scale_ins += 1
+            self._rank_hosts[shard] = hosts
+            new_key = (
+                "decomposition",
+                shard[0],
+                partition_fingerprint(repaired.dec.node_parts),
+            )
+            pooled.adopt_repartition(repaired, new_key)
+            self._shard_layouts[shard] = self._layout_for_ranks(
+                repaired.dec.n_subdomains, self.layout
+            )
+        policy.record_action(start_clock)
+        self.repartition_seconds += cost
+        return cost
 
     # -- guard / admission helpers --------------------------------------
     def _shard_str(self, shard: Tuple) -> str:
@@ -671,6 +863,16 @@ class SolverService:
         batch consumed.
         """
         responses: List[SolveResponse] = []
+        # elastic scaling runs first: the triggering batch is served on
+        # the repaired partition, with the repartition billed up front
+        extra = 0.0
+        if self._elastic is not None:
+            extra = self._maybe_scale(
+                batch, self._shard_layouts.get(batch.shard, layout),
+                start_clock,
+            )
+            start_clock += extra
+        layout = self._shard_layouts.get(batch.shard, layout)
         # shed-in-queue: drop requests whose deadline already passed
         if (
             self._admission is not None
@@ -679,7 +881,7 @@ class SolverService:
             narrowed, shed = self._shed_hopeless(batch, start_clock)
             responses.extend(shed)
             if narrowed is None:
-                return responses, 0.0
+                return responses, extra
             batch = narrowed
         # circuit breaker: fail fast on a shard that keeps breaking
         breaker = None
@@ -690,7 +892,7 @@ class SolverService:
                     responses.append(self._shed_response(
                         req, arrival, start_clock, "circuit_open", batch.shard
                     ))
-                return responses, 0.0
+                return responses, extra
         decision = self._degradation_for(batch, start_clock)
         try:
             if self._fault_injector is not None:
@@ -708,7 +910,7 @@ class SolverService:
             responses.extend(
                 self._schedule_retry_or_fail(batch, now, error, secs)
             )
-            return responses, secs
+            return responses, extra + secs
         self._estimator.observe(batch.shard, secs, batch.width)
         now = start_clock + secs
         if breaker is not None:
@@ -740,7 +942,7 @@ class SolverService:
             if resp.status is not SolveStatus.FAILED:
                 self._finalize_served(resp)
         responses.extend(rs)
-        return responses, secs
+        return responses, extra + secs
 
     def _finalize_served(self, resp: SolveResponse) -> None:
         self._inflight.pop(resp.request_id, None)
@@ -772,12 +974,30 @@ class SolverService:
                     dofs_per_node=op.dofs_per_node,
                 ),
             )
+            if not reused and batch.shard in self._shard_layouts:
+                # new operator values rebuilt the session at its
+                # requested partition, dropping any elastic repartition
+                self._reset_elastic_state(batch.shard)
+                layout = self.layout
+            if self._auto_batch and not self._autoscaled:
+                from repro.serve.batcher import autoscale_max_batch
+
+                width = autoscale_max_batch(precond, layout)
+                with tr.span("serve/autoscale") as asp:
+                    asp.annotate(max_batch=width)
+                    asp.count("batch_width", float(width))
+                self.batcher.max_batch = width
+                self._autoscaled.add(batch.shard)
+            factors = self._rank_factors(
+                batch.shard, start_clock, precond.dec.n_subdomains
+            )
             if reused:
                 setup_secs = 0.0
             else:
                 from repro.runtime.timings import time_solver
 
-                t = time_solver(precond, layout, 0, 0, 0)
+                t = time_solver(precond, layout, 0, 0, 0,
+                                rank_factors=factors)
                 setup_secs = (
                     t.first_setup_seconds if first_use else t.setup_seconds
                 )
@@ -800,7 +1020,9 @@ class SolverService:
             with tr.span("serve/solve") as ssp:
                 result = self._run_block(batch, op, operator, rtol_override)
                 ssp.count("block_width", float(batch.width))
-            solve_secs = self._solve_price(result, operator, layout)
+            solve_secs = self._solve_price(
+                result, operator, layout, rank_factors=factors
+            )
             batch_secs = setup_secs + solve_secs
             sp.annotate(
                 setup_seconds=setup_secs,

@@ -1,0 +1,31 @@
+"""The ``python -m repro.ft`` CLI: JSON mode, exit codes, artifacts."""
+
+import io
+import json
+
+from repro.ft.__main__ import main, run_matrix
+
+
+class TestCliJson:
+    def test_json_stdout_parses_and_exit_zero(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_ft.json"
+        code = main(["--json", "--problem", "laplace", "--out", str(out)])
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        assert code == 0
+        assert doc["bad"] == 0
+        assert "laplace" in doc["problems"]
+        # the artifact file carries the same document
+        on_disk = json.loads(out.read_text())
+        assert on_disk == doc
+        # human lines went to stderr, keeping stdout machine-parseable
+        assert "kill@" in captured.err
+
+    def test_run_matrix_document_shape(self):
+        buf = io.StringIO()
+        doc = run_matrix(which="laplace", seed=7, out=buf)
+        cells = doc["problems"]["laplace"]["cells"]
+        arms = {c.get("arm") for c in cells if "arm" in c}
+        assert {"control", "fault_free"} <= arms
+        assert all(c["ok"] for c in cells)
+        assert "kill@" in buf.getvalue()

@@ -1,0 +1,78 @@
+"""Cost-model-driven batch-width autoscaling."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import model_machine
+from repro.dd import Decomposition, GDSWPreconditioner
+from repro.fem import laplace_3d
+from repro.krylov.status import SolveStatus
+from repro.reuse import ArtifactCache, use_artifact_cache
+from repro.runtime import JobLayout
+from repro.runtime.timings import block_iteration_seconds
+from repro.serve import SolveRequest, SolverService, autoscale_max_batch
+
+
+@pytest.fixture(scope="module")
+def built():
+    p = laplace_3d(5, 5, 5)
+    dec = Decomposition.from_box_partition(p, 2, 2, 1)
+    return p, GDSWPreconditioner(dec, np.ones((p.a.n_rows, 1)), dim=3)
+
+
+class TestAutoscaleWidth:
+    def test_width_in_bounds_and_power_of_two(self, built):
+        _, precond = built
+        lay = JobLayout.cpu_run(1, ranks_per_node=4, machine=model_machine())
+        w = autoscale_max_batch(precond, lay, cap=32)
+        assert 1 <= w <= 32
+        assert w & (w - 1) == 0  # doubling search: powers of two only
+
+    def test_chosen_width_never_worse_per_request(self, built):
+        _, precond = built
+        lay = JobLayout.cpu_run(1, ranks_per_node=4, machine=model_machine())
+        w = autoscale_max_batch(precond, lay, cap=32)
+        per_req_at_1 = block_iteration_seconds(precond, lay, 1)
+        per_req_at_w = block_iteration_seconds(precond, lay, w) / w
+        assert per_req_at_w <= per_req_at_1
+
+    def test_cap_respected(self, built):
+        _, precond = built
+        lay = JobLayout.cpu_run(1, ranks_per_node=4, machine=model_machine())
+        assert autoscale_max_batch(precond, lay, cap=2) <= 2
+
+    def test_batching_pays_on_amortized_kernels(self, built):
+        # width-w block solves must amortize: per-request cost at the
+        # chosen width beats (or ties) every smaller power of two
+        _, precond = built
+        lay = JobLayout.gpu_run(1, 2, machine=model_machine())
+        w = autoscale_max_batch(precond, lay, cap=64)
+        costs = {
+            k: block_iteration_seconds(precond, lay, k) / k
+            for k in (1, w)
+        }
+        assert costs[w] <= costs[1]
+
+
+class TestServiceAutoBatch:
+    def test_auto_resolves_after_first_batch(self):
+        p = laplace_3d(5, 5, 5)
+        with use_artifact_cache(ArtifactCache()):
+            service = SolverService(max_batch="auto")
+            fp = service.register(p.a)
+            resp = service.solve(
+                SolveRequest(
+                    rhs=p.b, matrix_fingerprint=fp, partition=(2, 2, 1)
+                )
+            )
+            assert resp.status is SolveStatus.CONVERGED
+            w = service.batcher.max_batch
+            assert w >= 1 and w & (w - 1) == 0
+            service.close()
+
+    def test_explicit_width_still_honored(self):
+        p = laplace_3d(5, 5, 5)
+        with use_artifact_cache(ArtifactCache()):
+            service = SolverService(max_batch=3)
+            assert service.batcher.max_batch == 3
+            service.close()
